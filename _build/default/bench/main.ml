@@ -1,0 +1,93 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VI) through the machine models, and micro-
+   benchmarks the compiler passes themselves with Bechamel.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe table1 fig8 ... run selected experiments
+     bench/main.exe passes          Bechamel micro-benchmarks of the
+                                    compilation flows
+     bench/main.exe verify          semantic cross-check of all versions *)
+
+let bechamel_passes () =
+  let open Bechamel in
+  let open Toolkit in
+  let make_test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [ make_test "compile:conv2d" (fun () ->
+          ignore (Core.Pipeline.run ~target:Core.Pipeline.Cpu (Conv2d.build ())));
+      make_test "compile:unsharp_mask" (fun () ->
+          ignore
+            (Core.Pipeline.run ~target:Core.Pipeline.Cpu
+               (Polymage.unsharp_mask ~h:64 ~w:64 ())));
+      make_test "compile:harris" (fun () ->
+          ignore
+            (Core.Pipeline.run ~target:Core.Pipeline.Cpu
+               (Polymage.harris ~h:64 ~w:64 ())));
+      make_test "deps:camera_pipeline" (fun () ->
+          ignore (Deps.compute (Polymage.camera_pipeline ~h2:32 ~w2:32 ())));
+      make_test "codegen:conv2d" (fun () ->
+          let p = Conv2d.build () in
+          let c = Core.Pipeline.run ~target:Core.Pipeline.Cpu p in
+          ignore (Gen.generate p c.Core.Pipeline.tree));
+      make_test "presburger:card" (fun () ->
+          ignore
+            (Presburger.Bset.card
+               (Presburger.Parse.bset
+                  "{ S[i, j] : 0 <= i < 100 and 0 <= j <= i }")))
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let test = Test.make_grouped ~name:"passes" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map
+      (fun i ->
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          i raw)
+      instances
+  in
+  Exp_util.section "Bechamel: compiler-pass micro-benchmarks";
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        tbl)
+    results
+
+let experiments =
+  [ ("table1", Paper_experiments.table1);
+    ("fig8", Paper_experiments.fig8);
+    ("fig9", Paper_experiments.fig9);
+    ("fig10", Paper_experiments.fig10);
+    ("table2", Paper_experiments.table2);
+    ("table3", Paper_experiments.table3);
+    ("compile_time", Paper_experiments.compile_time);
+    ("ablations", Ablations.run_all);
+    ("verify", Paper_experiments.verify);
+    ("passes", bechamel_passes)
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      print_endline
+        "Reproduction of 'Optimizing the Memory Hierarchy by Compositing\n\
+         Automatic Transformations on Computations and Data' (MICRO 2020)";
+      Paper_experiments.run_all ()
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %s (available: %s)\n" n
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names

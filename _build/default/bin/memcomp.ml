@@ -1,0 +1,162 @@
+(* memcomp: command-line driver for the post-tiling-fusion compiler.
+
+   Subcommands:
+     list                          available workloads
+     compile  -w NAME [options]   run a flow, print schedule tree / code
+     run      -w NAME [options]   compile, execute through the CPU model
+     compare  -w NAME [options]   all flows side by side *)
+
+open Cmdliner
+
+let prog_of name small =
+  let e = Registry.find name in
+  if small then e.Registry.small () else e.Registry.build ()
+
+type flow = F_naive | F_heuristic of Fusion.heuristic | F_ours | F_polymage | F_halide
+
+let flow_conv =
+  let parse = function
+    | "naive" -> Ok F_naive
+    | "minfuse" -> Ok (F_heuristic Fusion.Minfuse)
+    | "smartfuse" -> Ok (F_heuristic Fusion.Smartfuse)
+    | "maxfuse" -> Ok (F_heuristic Fusion.Maxfuse)
+    | "hybridfuse" -> Ok (F_heuristic Fusion.Hybridfuse)
+    | "ours" -> Ok F_ours
+    | "polymage" -> Ok F_polymage
+    | "halide" -> Ok F_halide
+    | s -> Error (`Msg (Printf.sprintf "unknown flow %s" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | F_naive -> "naive"
+      | F_heuristic h -> Fusion.heuristic_name h
+      | F_ours -> "ours"
+      | F_polymage -> "polymage"
+      | F_halide -> "halide")
+  in
+  Arg.conv (parse, print)
+
+let version_of flow ~tile prog =
+  match flow with
+  | F_naive -> Exp_util.naive prog
+  | F_heuristic h -> Exp_util.heuristic ~tile ~target:Core.Pipeline.Cpu h prog
+  | F_ours -> Exp_util.ours ~tile ~target:Core.Pipeline.Cpu prog
+  | F_polymage -> Exp_util.polymage_version ~tile ~target:Core.Pipeline.Cpu prog
+  | F_halide -> Exp_util.halide_version ~tile ~target:Core.Pipeline.Cpu prog
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload name (see list).")
+
+let tile_arg =
+  Arg.(value & opt int 32 & info [ "t"; "tile" ] ~docv:"N" ~doc:"Tile size.")
+
+let small_arg =
+  Arg.(value & flag & info [ "small" ] ~doc:"Use the reduced test-size instance.")
+
+let flow_arg =
+  Arg.(
+    value
+    & opt flow_conv F_ours
+    & info [ "f"; "flow" ] ~docv:"FLOW"
+        ~doc:"naive | minfuse | smartfuse | maxfuse | hybridfuse | ours | polymage | halide.")
+
+let list_cmd =
+  let doc = "List the available workloads." in
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "  %-18s %s\n" e.Registry.reg_name e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let compile_cmd =
+  let doc = "Compile a workload and print the schedule tree and generated code." in
+  let show_tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Print the schedule tree.")
+  in
+  let run workload tile small flow tree_flag =
+    let prog = prog_of workload small in
+    let v = version_of flow ~tile prog in
+    Printf.printf "workload %s, flow %s (compiled in %.3fs)\n\n" workload
+      v.Exp_util.ver_name v.Exp_util.compile_s;
+    (match (tree_flag, v.Exp_util.flavor) with
+    | true, Exp_util.Ours c ->
+        print_endline (Schedule_tree.to_string c.Core.Pipeline.tree)
+    | true, Exp_util.Baseline (b, _) ->
+        print_endline (Schedule_tree.to_string b.Core.Pipeline.b_tree)
+    | _ -> ());
+    print_endline (Ast.to_string v.Exp_util.ast)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ show_tree)
+
+let run_cmd =
+  let doc = "Compile and execute a workload through the trace-driven CPU model." in
+  let threads =
+    Arg.(value & opt int 32 & info [ "j"; "threads" ] ~docv:"N" ~doc:"Thread count.")
+  in
+  let run workload tile small flow threads =
+    let prog = prog_of workload small in
+    let v = version_of flow ~tile prog in
+    let report = Exp_util.cpu_profile prog v in
+    Printf.printf "workload %s, flow %s\n" workload v.Exp_util.ver_name;
+    Printf.printf "  instances   %d\n" report.Cpu_model.instances;
+    Printf.printf "  operations  %d\n" report.Cpu_model.total_ops;
+    List.iter
+      (fun (l : Cache.level_stats) ->
+        Printf.printf "  %-4s hits %d misses %d\n" l.Cache.level l.Cache.hits
+          l.Cache.misses)
+      report.Cpu_model.cache;
+    Printf.printf "  DRAM        %d\n" report.Cpu_model.dram;
+    Printf.printf "  modelled    %.3f ms at %d threads\n"
+      (Exp_util.cpu_time_ms prog v ~threads)
+      threads
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ threads)
+
+let compare_cmd =
+  let doc = "Compare all flows on one workload (model times + semantics)." in
+  let run workload tile small =
+    let prog = prog_of workload small in
+    let reference = Exp_util.naive prog in
+    let flows =
+      [ F_naive; F_heuristic Fusion.Minfuse; F_heuristic Fusion.Smartfuse;
+        F_heuristic Fusion.Maxfuse; F_heuristic Fusion.Hybridfuse; F_polymage;
+        F_halide; F_ours
+      ]
+    in
+    let rows =
+      List.map
+        (fun f ->
+          let v = version_of f ~tile prog in
+          [ v.Exp_util.ver_name;
+            Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:1);
+            Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:32);
+            Printf.sprintf "%.2f" v.Exp_util.compile_s;
+            (if Exp_util.check_against prog reference v then "ok" else "MISMATCH")
+          ])
+        flows
+    in
+    Exp_util.print_table
+      ~header:[ "flow"; "1t (ms)"; "32t (ms)"; "compile (s)"; "semantics" ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run $ workload_arg $ tile_arg $ small_arg)
+
+let () =
+  let doc =
+    "post-tiling fusion: compositing automatic transformations on computations \
+     and data (MICRO 2020 reproduction)"
+  in
+  let info = Cmd.info "memcomp" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/equake_demo.ml: Ast Build_tree Core Cpu_model Deps Equake Fusion Gen Interp List Printf String

@@ -1,0 +1,1 @@
+examples/equake_demo.mli:

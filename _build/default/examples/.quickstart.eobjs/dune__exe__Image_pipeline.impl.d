@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Cache Core Cpu_model Exp_util Fusion List Polymage Printf Prog

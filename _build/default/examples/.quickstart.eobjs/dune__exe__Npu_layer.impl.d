@@ -1,0 +1,1 @@
+examples/npu_layer.ml: Core Exp_util Footprints Fusion List Npu_model Printf Resnet String

@@ -1,0 +1,1 @@
+examples/npu_layer.mli:

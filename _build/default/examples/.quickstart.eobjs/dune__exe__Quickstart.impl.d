@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ast Bset Build_tree Conv2d Core Cpu_model Deps Fusion Gen Imap Interp Iset List Presburger Printf Prog Schedule_tree String

@@ -1,0 +1,48 @@
+(* Image-pipeline example: compile the unsharp-mask pipeline with every
+   fusion heuristic and with the paper's post-tiling fusion, execute each
+   through the trace-driven CPU model, and compare cache behaviour and
+   modelled times.
+
+   Run with: dune exec examples/image_pipeline.exe *)
+
+let () =
+  let prog = Polymage.unsharp_mask ~h:128 ~w:128 () in
+  Printf.printf "unsharp mask, %d statements, image 128x128\n\n"
+    (List.length prog.Prog.stmts);
+  let versions =
+    [ Exp_util.naive prog;
+      Exp_util.heuristic ~target:Core.Pipeline.Cpu Fusion.Minfuse prog;
+      Exp_util.heuristic ~target:Core.Pipeline.Cpu Fusion.Smartfuse prog;
+      Exp_util.heuristic ~target:Core.Pipeline.Cpu Fusion.Maxfuse prog;
+      Exp_util.polymage_version ~tile_sizes:[| 8; 32 |] ~target:Core.Pipeline.Cpu prog;
+      Exp_util.ours ~tile_sizes:[| 8; 32 |] ~target:Core.Pipeline.Cpu prog
+    ]
+  in
+  let reference = List.hd versions in
+  let rows =
+    List.map
+      (fun v ->
+        let report = Exp_util.cpu_profile prog v in
+        let l1_misses =
+          match report.Cpu_model.cache with
+          | l1 :: _ -> l1.Cache.misses
+          | [] -> 0
+        in
+        let ok = Exp_util.check_against prog reference v in
+        [ v.Exp_util.ver_name;
+          Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:1);
+          Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:32);
+          string_of_int l1_misses;
+          string_of_int report.Cpu_model.dram;
+          string_of_int report.Cpu_model.instances;
+          (if ok then "ok" else "MISMATCH")
+        ])
+      versions
+  in
+  Exp_util.print_table
+    ~header:[ "version"; "1t (ms)"; "32t (ms)"; "L1 miss"; "DRAM"; "instances"; "semantics" ]
+    rows;
+  print_endline
+    "\nNote how the fused versions cut DRAM traffic (the intermediate\n\
+     blur tensors stay in cache within each tile), and how the paper's\n\
+     version keeps 32-thread parallelism while maxfuse does not."

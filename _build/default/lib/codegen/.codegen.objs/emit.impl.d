@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Ast Buffer List Presburger Printf Prog String

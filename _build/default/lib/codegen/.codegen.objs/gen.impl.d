@@ -1,0 +1,1 @@
+lib/codegen/gen.ml: Array Ast Bmap Bset Cstr Fm Hashtbl Imap Iset List Presburger Printf Prog Schedule_tree Space Vec

@@ -1,0 +1,1 @@
+lib/codegen/gen.mli: Ast Prog Schedule_tree

@@ -1,0 +1,163 @@
+type expr =
+  | Int of int
+  | Var of string
+  | Param of string
+  | Sum of expr list
+  | Mul of int * expr
+  | Floor_div of expr * int
+  | Ceil_div of expr * int
+  | Min_of of expr list
+  | Max_of of expr list
+
+type cond = expr
+
+type t =
+  | For of { var : string; lb : expr; ub : expr; coincident : bool; body : t }
+  | If of cond list * t
+  | Call of { stmt : string; args : expr list }
+  | Block of t list
+  | Kernel of int * t
+  | Nop
+
+let rec eval_expr ~params ~env = function
+  | Int k -> k
+  | Var v -> (
+      match List.assoc_opt v env with
+      | Some x -> x
+      | None -> invalid_arg (Printf.sprintf "eval_expr: unbound loop var %s" v))
+  | Param p -> (
+      match List.assoc_opt p params with
+      | Some x -> x
+      | None -> invalid_arg (Printf.sprintf "eval_expr: unbound param %s" p))
+  | Sum es -> List.fold_left (fun acc e -> acc + eval_expr ~params ~env e) 0 es
+  | Mul (k, e) -> k * eval_expr ~params ~env e
+  | Floor_div (e, d) -> Presburger.Vec.floor_div (eval_expr ~params ~env e) d
+  | Ceil_div (e, d) -> Presburger.Vec.ceil_div (eval_expr ~params ~env e) d
+  | Min_of es ->
+      List.fold_left
+        (fun acc e -> min acc (eval_expr ~params ~env e))
+        max_int es
+  | Max_of es ->
+      List.fold_left
+        (fun acc e -> max acc (eval_expr ~params ~env e))
+        min_int es
+
+let rec simplify_expr e =
+  match e with
+  | Int _ | Var _ | Param _ -> e
+  | Mul (0, _) -> Int 0
+  | Mul (1, e) -> simplify_expr e
+  | Mul (k, e) -> (
+      match simplify_expr e with
+      | Int v -> Int (k * v)
+      | Mul (k', e') -> Mul (k * k', e')
+      | e' -> Mul (k, e'))
+  | Floor_div (e, 1) | Ceil_div (e, 1) -> simplify_expr e
+  | Floor_div (e, d) -> (
+      match simplify_expr e with
+      | Int v -> Int (Presburger.Vec.floor_div v d)
+      | e' -> Floor_div (e', d))
+  | Ceil_div (e, d) -> (
+      match simplify_expr e with
+      | Int v -> Int (Presburger.Vec.ceil_div v d)
+      | e' -> Ceil_div (e', d))
+  | Sum es -> (
+      let es = List.map simplify_expr es in
+      let es =
+        List.concat_map (function Sum inner -> inner | e -> [ e ]) es
+      in
+      let consts, rest = List.partition (function Int _ -> true | _ -> false) es in
+      let c = List.fold_left (fun acc e -> match e with Int v -> acc + v | _ -> acc) 0 consts in
+      match (rest, c) with
+      | [], c -> Int c
+      | rest, 0 -> ( match rest with [ e ] -> e | _ -> Sum rest)
+      | rest, c -> Sum (rest @ [ Int c ]))
+  | Min_of es -> (
+      let es = List.map simplify_expr es in
+      let es = List.concat_map (function Min_of inner -> inner | e -> [ e ]) es in
+      let es = List.sort_uniq compare es in
+      match es with [ e ] -> e | _ -> Min_of es)
+  | Max_of es -> (
+      let es = List.map simplify_expr es in
+      let es = List.concat_map (function Max_of inner -> inner | e -> [ e ]) es in
+      let es = List.sort_uniq compare es in
+      match es with [ e ] -> e | _ -> Max_of es)
+
+let rec expr_to_string e =
+  let paren s = "(" ^ s ^ ")" in
+  match e with
+  | Int k -> string_of_int k
+  | Var v -> v
+  | Param p -> p
+  | Sum es -> (
+      match es with
+      | [] -> "0"
+      | first :: rest ->
+          let buf = Buffer.create 32 in
+          Buffer.add_string buf (expr_to_string first);
+          List.iter
+            (fun e ->
+              match e with
+              | Int k when k < 0 -> Buffer.add_string buf (Printf.sprintf " - %d" (-k))
+              | Mul (k, e') when k < 0 ->
+                  Buffer.add_string buf
+                    (" - " ^ expr_to_string (Mul (-k, e')))
+              | _ -> Buffer.add_string buf (" + " ^ expr_to_string e))
+            rest;
+          paren (Buffer.contents buf))
+  | Mul (1, e) -> expr_to_string e
+  | Mul (k, e) -> Printf.sprintf "%d * %s" k (expr_to_string e)
+  | Floor_div (e, d) -> Printf.sprintf "floord(%s, %d)" (expr_to_string e) d
+  | Ceil_div (e, d) -> Printf.sprintf "ceild(%s, %d)" (expr_to_string e) d
+  | Min_of es -> "min(" ^ String.concat ", " (List.map expr_to_string es) ^ ")"
+  | Max_of es -> "max(" ^ String.concat ", " (List.map expr_to_string es) ^ ")"
+
+let to_string ast =
+  let buf = Buffer.create 1024 in
+  let pad n = String.make (2 * n) ' ' in
+  let rec go depth = function
+    | Nop -> ()
+    | Block ts -> List.iter (go depth) ts
+    | Kernel (k, t) ->
+        Buffer.add_string buf (Printf.sprintf "%s// kernel %d\n" (pad depth) k);
+        go depth t
+    | For { var; lb; ub; coincident; body } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sfor (%s = %s; %s <= %s; %s++)%s {\n" (pad depth) var
+             (expr_to_string lb) var (expr_to_string ub) var
+             (if coincident then " /* parallel */" else ""));
+        go (depth + 1) body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | If (conds, body) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sif (%s) {\n" (pad depth)
+             (String.concat " && "
+                (List.map (fun c -> expr_to_string c ^ " >= 0") conds)));
+        go (depth + 1) body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | Call { stmt; args } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s(%s);\n" (pad depth) stmt
+             (String.concat ", " (List.map expr_to_string args)))
+  in
+  go 0 ast;
+  Buffer.contents buf
+
+let rec count_loops = function
+  | For { body; _ } -> 1 + count_loops body
+  | If (_, body) -> count_loops body
+  | Block ts -> List.fold_left (fun acc t -> acc + count_loops t) 0 ts
+  | Kernel (_, t) -> count_loops t
+  | Call _ | Nop -> 0
+
+let kernels ast =
+  let acc = ref [] in
+  let rec go = function
+    | Kernel (k, t) -> acc := (k, t) :: !acc
+    | For { body; _ } -> go body
+    | If (_, body) -> go body
+    | Block ts -> List.iter go ts
+    | Call _ | Nop -> ()
+  in
+  go ast;
+  List.rev !acc

@@ -1,0 +1,214 @@
+(* Source-code backends. The array indexing of each statement comes from
+   its access lists; loop structure and parallelism annotations come
+   from the AST. *)
+
+let index_string (acc : Prog.access) =
+  let dim_name d = Printf.sprintf "i%d" d in
+  let aff_string (a : Presburger.Aff.t) =
+    let buf = Buffer.create 16 in
+    let first = ref true in
+    let term s =
+      if !first then first := false else Buffer.add_string buf " + ";
+      Buffer.add_string buf s
+    in
+    List.iter
+      (fun (d, c) ->
+        if c = 1 then term (dim_name d)
+        else if c <> 0 then term (Printf.sprintf "%d*%s" c (dim_name d)))
+      a.Presburger.Aff.dims;
+    List.iter
+      (fun (p, c) ->
+        if c = 1 then term p else if c <> 0 then term (Printf.sprintf "%d*%s" c p))
+      a.Presburger.Aff.params;
+    if a.Presburger.Aff.cst <> 0 || !first then
+      term (string_of_int a.Presburger.Aff.cst);
+    Buffer.contents buf
+  in
+  String.concat ""
+    (List.map
+       (fun (ix : Prog.index) ->
+         if ix.Prog.div = 1 then Printf.sprintf "[%s]" (aff_string ix.Prog.aff)
+         else Printf.sprintf "[(%s)/%d]" (aff_string ix.Prog.aff) ix.Prog.div)
+       acc.Prog.indices)
+
+let statement_macros (p : Prog.t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (s : Prog.stmt) ->
+      let nd = Presburger.Bset.n_dims s.Prog.domain in
+      let args = String.concat ", " (List.init nd (fun d -> Printf.sprintf "i%d" d)) in
+      let reads =
+        String.concat ", "
+          (List.map
+             (fun (r : Prog.access) -> r.Prog.array ^ index_string r)
+             s.Prog.reads)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "#define %s(%s) %s%s = f_%s(%s)\n" s.Prog.stmt_name args
+           s.Prog.write.Prog.array (index_string s.Prog.write) s.Prog.stmt_name
+           reads))
+    p.Prog.stmts;
+  Buffer.contents buf
+
+let scratch_decls staged (p : Prog.t) ~qualifier =
+  String.concat ""
+    (List.map
+       (fun a ->
+         let extents = Prog.array_extent p a in
+         Printf.sprintf "  %sfloat %s_tile%s;  /* staged intermediate */\n"
+           qualifier a
+           (String.concat "" (List.map (fun e -> Printf.sprintf "[%d]" e) extents)))
+       staged)
+
+(* OpenMP: pragma on the outermost coincident loop of each kernel,
+   ivdep on innermost coincident loops. *)
+let openmp ?(staged = []) (p : Prog.t) ast =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (statement_macros p);
+  Buffer.add_string buf "\nvoid kernel(void) {\n";
+  Buffer.add_string buf (scratch_decls staged p ~qualifier:"");
+  let pad n = String.make (2 * n) ' ' in
+  let rec innermost_parallel = function
+    | Ast.For { coincident; body; _ } ->
+        let rec has_for = function
+          | Ast.For _ -> true
+          | Ast.If (_, b) -> has_for b
+          | Ast.Block ts -> List.exists has_for ts
+          | Ast.Kernel (_, t) -> has_for t
+          | _ -> false
+        in
+        if has_for body then innermost_parallel body else coincident
+    | Ast.If (_, b) -> innermost_parallel b
+    | Ast.Block ts -> List.exists innermost_parallel ts
+    | _ -> false
+  in
+  let rec go depth ~outer_done node =
+    match node with
+    | Ast.Nop -> ()
+    | Ast.Block ts -> List.iter (go depth ~outer_done) ts
+    | Ast.Kernel (k, t) ->
+        Buffer.add_string buf (Printf.sprintf "%s/* kernel %d */\n" (pad depth) k);
+        go depth ~outer_done:false t
+    | Ast.If (conds, body) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sif (%s) {\n" (pad depth)
+             (String.concat " && "
+                (List.map (fun c -> Ast.expr_to_string c ^ " >= 0") conds)));
+        go (depth + 1) ~outer_done body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | Ast.For ({ var; lb; ub; coincident; body } as f) ->
+        if coincident && not outer_done then
+          Buffer.add_string buf (pad depth ^ "#pragma omp parallel for\n")
+        else if coincident && innermost_parallel (Ast.For f) then
+          Buffer.add_string buf (pad depth ^ "#pragma ivdep\n");
+        Buffer.add_string buf
+          (Printf.sprintf "%sfor (int %s = %s; %s <= %s; %s++) {\n" (pad depth)
+             var (Ast.expr_to_string lb) var (Ast.expr_to_string ub) var);
+        go (depth + 1) ~outer_done:true body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | Ast.Call { stmt; args } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s(%s);\n" (pad depth) stmt
+             (String.concat ", " (List.map Ast.expr_to_string args)))
+  in
+  go 1 ~outer_done:false ast;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* CUDA: per kernel region, map the leading coincident loops to block
+   and thread indices. *)
+let cuda ?(staged = []) (p : Prog.t) ast =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (statement_macros p);
+  let pad n = String.make (2 * n) ' ' in
+  let emit_kernel (k, body) =
+    Buffer.add_string buf (Printf.sprintf "\n__global__ void kernel%d(void) {\n" k);
+    Buffer.add_string buf (scratch_decls staged p ~qualifier:"__shared__ ");
+    let grid = [ "blockIdx.x"; "blockIdx.y" ] in
+    let threads = [ "threadIdx.x"; "threadIdx.y"; "threadIdx.z" ] in
+    let rec go depth ~grid ~threads node =
+      match node with
+      | Ast.Nop -> ()
+      | Ast.Block ts -> List.iter (go depth ~grid ~threads) ts
+      | Ast.Kernel (_, t) -> go depth ~grid ~threads t
+      | Ast.If (conds, body) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sif (%s) {\n" (pad depth)
+               (String.concat " && "
+                  (List.map (fun c -> Ast.expr_to_string c ^ " >= 0") conds)));
+          go (depth + 1) ~grid ~threads body;
+          Buffer.add_string buf (pad depth ^ "}\n")
+      | Ast.For { var; lb; ub; coincident; body } -> (
+          match (coincident, grid, threads) with
+          | true, g :: grest, _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "%sint %s = %s + (%s);  /* block-mapped */\n"
+                   (pad depth) var g (Ast.expr_to_string lb));
+              ignore ub;
+              go depth ~grid:grest ~threads body
+          | true, [], t :: trest ->
+              Buffer.add_string buf
+                (Printf.sprintf "%sint %s = %s + (%s);  /* thread-mapped */\n"
+                   (pad depth) var t (Ast.expr_to_string lb));
+              go depth ~grid:[] ~threads:trest body
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "%sfor (int %s = %s; %s <= %s; %s++) {\n"
+                   (pad depth) var (Ast.expr_to_string lb) var
+                   (Ast.expr_to_string ub) var);
+              go (depth + 1) ~grid ~threads body;
+              Buffer.add_string buf (pad depth ^ "}\n"))
+      | Ast.Call { stmt; args } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s(%s);\n" (pad depth) stmt
+               (String.concat ", " (List.map Ast.expr_to_string args)))
+    in
+    go 1 ~grid ~threads body;
+    Buffer.add_string buf "}\n"
+  in
+  (match Ast.kernels ast with
+  | [] -> emit_kernel (0, ast)
+  | ks -> List.iter emit_kernel ks);
+  Buffer.contents buf
+
+(* CCE: DaVinci-style operator groups with explicit buffer transfers. *)
+let cce ?(staged = []) ~kind_of (p : Prog.t) ast =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "/* CCE operator groups (DaVinci) */\n";
+  let emit_kernel (k, body) =
+    Buffer.add_string buf (Printf.sprintf "\noperator_group g%d {\n" k);
+    List.iter
+      (fun a -> Buffer.add_string buf (Printf.sprintf "  alloc UB %s_tile;\n" a))
+      staged;
+    let rec stmts_of = function
+      | Ast.Call { stmt; _ } -> [ stmt ]
+      | Ast.If (_, b) | Ast.For { body = b; _ } | Ast.Kernel (_, b) -> stmts_of b
+      | Ast.Block ts -> List.concat_map stmts_of ts
+      | Ast.Nop -> []
+    in
+    let stmts = List.sort_uniq compare (stmts_of body) in
+    List.iter
+      (fun s ->
+        let st = Prog.find_stmt p s in
+        let unit = match kind_of s with `Cube -> "CUBE" | `Vector -> "VECTOR" in
+        List.iter
+          (fun (r : Prog.access) ->
+            if not (List.mem r.Prog.array staged) then
+              Buffer.add_string buf
+                (Printf.sprintf "  dma DDR -> %s : %s;\n"
+                   (if unit = "CUBE" then "L1/L0A" else "UB")
+                   r.Prog.array))
+          st.Prog.reads;
+        Buffer.add_string buf (Printf.sprintf "  exec %s on %s;\n" s unit);
+        if not (List.mem st.Prog.write.Prog.array staged) then
+          Buffer.add_string buf
+            (Printf.sprintf "  dma %s -> DDR : %s;\n"
+               (if unit = "CUBE" then "L0C" else "UB")
+               st.Prog.write.Prog.array))
+      stmts;
+    Buffer.add_string buf "}\n"
+  in
+  (match Ast.kernels ast with
+  | [] -> emit_kernel (0, ast)
+  | ks -> List.iter emit_kernel ks);
+  Buffer.contents buf

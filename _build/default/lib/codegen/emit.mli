@@ -1,0 +1,29 @@
+(** Source-code backends (Section V of the paper): render a generated
+    AST as OpenMP C, CUDA, or CCE-style code.
+
+    - OpenMP: `#pragma omp parallel for` on the outermost coincident
+      loop of each kernel, `#pragma ivdep` on the innermost coincident
+      loop (the auto-vectorization enabler of Section V), local
+      scratchpad declarations for staged arrays.
+    - CUDA: one `__global__` kernel per kernel region; the first (up to)
+      two coincident loops map to block indices, the next ones to thread
+      indices; staged arrays become `__shared__` declarations.
+    - CCE: operator-group pseudo-code for the DaVinci architecture with
+      explicit DMA transfers between DDR, L1/UB buffers and the
+      cube/vector units.
+
+    The emitted text is for inspection and for building against the real
+    toolchains elsewhere; in this repository programs execute through
+    the interpreter and machine models. *)
+
+val statement_macros : Prog.t -> string
+(** C macro definitions giving each statement's computation, derived
+    from its access lists (bodies are schematic: the interpreter holds
+    the executable semantics). *)
+
+val openmp : ?staged:string list -> Prog.t -> Ast.t -> string
+
+val cuda : ?staged:string list -> Prog.t -> Ast.t -> string
+
+val cce : ?staged:string list -> kind_of:(string -> [ `Cube | `Vector ]) ->
+  Prog.t -> Ast.t -> string

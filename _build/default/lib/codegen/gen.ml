@@ -1,0 +1,419 @@
+open Presburger
+
+(* Per-statement constraint system over [params; lvars; stmt_dims]. *)
+type stmt_state = { stmt : Prog.stmt; sys : Cstr.t list }
+
+type ctx = {
+  prog : Prog.t;
+  params : string array;
+  lvars : string array;  (** loop variables, outermost first *)
+  sched_vars : (string * string array) list;  (** band tuple -> lvar names *)
+  enforced : Cstr.t list;  (** over [params; lvars] *)
+  counter : int ref;
+  kernel_counter : int ref;
+}
+
+let np ctx = Array.length ctx.params
+
+let nl ctx = Array.length ctx.lvars
+
+let fresh_lvar ctx =
+  let v = Printf.sprintf "c%d" !(ctx.counter) in
+  incr ctx.counter;
+  v
+
+(* Lift a constraint of a basic map into a statement system. [in_cols]
+   and [out_cols] give, for each input/output dimension of the map, the
+   destination column (relative to the full system width). *)
+let lift_map_cstr ~from_params ~ctx ~width ~in_cols ~out_cols (c : Cstr.t) =
+  let npf = Array.length from_params in
+  let ni = Array.length in_cols and no = Array.length out_cols in
+  assert (Cstr.nvars c = npf + ni + no);
+  let out = Array.make width 0 in
+  Array.iteri
+    (fun i p ->
+      let j =
+        match Array.find_index (( = ) p) ctx.params with
+        | Some j -> j
+        | None -> invalid_arg ("Gen: unknown parameter " ^ p)
+      in
+      out.(j) <- c.coef.(i))
+    from_params;
+  Array.iteri (fun i col -> out.(col) <- out.(col) + c.coef.(npf + i)) in_cols;
+  Array.iteri (fun i col -> out.(col) <- out.(col) + c.coef.(npf + ni + i)) out_cols;
+  { c with coef = out }
+
+let insert_lvar_cols ctx states =
+  (* a new lvar column is appended after existing lvars, i.e. at position
+     np + nl, in every statement system (before its dims) and in the
+     enforced set (at the end). *)
+  let pos = np ctx + nl ctx in
+  List.map
+    (fun st -> { st with sys = List.map (fun c -> Cstr.insert_vars c ~pos ~count:1) st.sys })
+    states
+
+let row_to_expr ctx row cst =
+  let terms = ref [] in
+  Array.iteri
+    (fun i c -> if c <> 0 then terms := Ast.Mul (c, Ast.Param ctx.params.(i)) :: !terms)
+    (Array.sub row 0 (np ctx));
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then terms := Ast.Mul (c, Ast.Var ctx.lvars.(i)) :: !terms)
+    (Array.sub row (np ctx) (nl ctx));
+  if cst <> 0 || !terms = [] then terms := Ast.Int cst :: !terms;
+  Ast.simplify_expr (Ast.Sum (List.rev !terms))
+
+(* Bounds of loop-variable column [col] from a system restricted to
+   [params; lvars] (no statement dims). *)
+let bounds_exprs ctx col cstrs =
+  let lowers, uppers = Fm.bounds_for ~var:col cstrs in
+  let lower_of (a, (c : Cstr.t)) =
+    (* a*v + rest >= 0  ->  v >= ceil(-rest / a) *)
+    let row = Array.copy c.Cstr.coef in
+    row.(col) <- 0;
+    let e = row_to_expr ctx (Vec.scale (-1) row) (-c.Cstr.cst) in
+    if a = 1 then e else Ast.simplify_expr (Ast.Ceil_div (e, a))
+  in
+  let upper_of (b, (c : Cstr.t)) =
+    (* -b*v + rest >= 0 -> v <= floor(rest / b) *)
+    let row = Array.copy c.Cstr.coef in
+    row.(col) <- 0;
+    let e = row_to_expr ctx row c.Cstr.cst in
+    if b = 1 then e else Ast.simplify_expr (Ast.Floor_div (e, b))
+  in
+  (List.map lower_of lowers, List.map upper_of uppers)
+
+let project_to_lvars ~upto ctx (st : stmt_state) =
+  (* eliminate statement dims and lvars with index > upto *)
+  let nd = Bset.n_dims st.stmt.Prog.domain in
+  let base = np ctx + nl ctx in
+  let dim_vars = List.init nd (fun i -> base + i) in
+  let later = List.init (nl ctx - upto - 1) (fun i -> np ctx + upto + 1 + i) in
+  let vars = dim_vars @ later in
+  let cstrs =
+    try Fm.eliminate_many ~exact:true ~vars st.sys
+    with Fm.Inexact _ -> Fm.eliminate_many ~exact:false ~vars st.sys
+  in
+  match Fm.dedup cstrs with None -> [ Fm.false_cstr (base + nd) ] | Some c -> c
+
+(* Solve each statement dimension as an affine expression of lvars and
+   params, using the unit-coefficient equalities of the system. *)
+let solve_dims ctx (st : stmt_state) =
+  let nd = Bset.n_dims st.stmt.Prog.domain in
+  let base = np ctx + nl ctx in
+  List.init nd (fun d ->
+      let col = base + d in
+      let eq =
+        List.find_opt
+          (fun (c : Cstr.t) ->
+            c.Cstr.kind = Cstr.Eq
+            && abs c.coef.(col) = 1
+            && List.for_all
+                 (fun d' -> d' = d || c.coef.(base + d') = 0)
+                 (List.init nd (fun i -> i)))
+          st.sys
+      in
+      match eq with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Gen: dimension %d of %s not determined at leaf" d
+               st.stmt.Prog.stmt_name)
+      | Some c ->
+          (* coef(col)*d + rest + cst = 0 -> d = -+ (rest + cst) *)
+          let sign = -c.coef.(col) in
+          let row = Array.copy c.coef in
+          row.(col) <- 0;
+          row_to_expr ctx (Vec.scale sign row) (sign * c.Cstr.cst))
+
+let guard_conds ctx (st : stmt_state) =
+  let nd = Bset.n_dims st.stmt.Prog.domain in
+  let base = np ctx + nl ctx in
+  let vars = List.init nd (fun i -> base + i) in
+  let residual =
+    try Fm.eliminate_many ~exact:true ~vars st.sys
+    with Fm.Inexact _ -> Fm.eliminate_many ~exact:false ~vars st.sys
+  in
+  let residual = match Fm.dedup residual with None -> [ Fm.false_cstr base ] | Some c -> c in
+  let width = base in
+  (* constraints over parameters alone are loop-invariant facts; the
+     generated code is specialized to the program's bound sizes (as the
+     paper's evaluation fixes tile sizes and extents), so they are
+     checked once here rather than guarded per instance *)
+  let param_only (c : Cstr.t) =
+    let ok = ref true in
+    for i = np ctx to width - 1 do
+      if c.coef.(i) <> 0 then ok := false
+    done;
+    !ok
+  in
+  let holds_under_binding (c : Cstr.t) =
+    let v = ref c.Cstr.cst in
+    Array.iteri
+      (fun i p ->
+        match List.assoc_opt p ctx.prog.Prog.params with
+        | Some x -> v := !v + (c.coef.(i) * x)
+        | None -> ())
+      ctx.params;
+    match c.Cstr.kind with Cstr.Eq -> !v = 0 | Cstr.Ge -> !v >= 0
+  in
+  let needed =
+    List.filter
+      (fun (c : Cstr.t) ->
+        let c = { c with coef = Array.sub c.coef 0 width } in
+        if param_only c && holds_under_binding c then false
+        else
+          not
+            (try Fm.implies ~nvars:width ctx.enforced c with Fm.Inexact _ -> false))
+      residual
+  in
+  List.concat_map
+    (fun (c : Cstr.t) ->
+      let row = Array.sub c.coef 0 width in
+      match c.Cstr.kind with
+      | Cstr.Ge -> [ row_to_expr ctx row c.Cstr.cst ]
+      | Cstr.Eq ->
+          [ row_to_expr ctx row c.Cstr.cst;
+            row_to_expr ctx (Vec.scale (-1) row) (-c.Cstr.cst)
+          ])
+    needed
+
+let leaf_code ctx active =
+  let order s =
+    Prog.stmt_index ctx.prog s.stmt.Prog.stmt_name
+  in
+  let active = List.sort (fun a b -> compare (order a) (order b)) active in
+  let stmts =
+    List.map
+      (fun st ->
+        let args = solve_dims ctx st in
+        let conds = guard_conds ctx st in
+        let call = Ast.Call { stmt = st.stmt.Prog.stmt_name; args } in
+        if conds = [] then call else Ast.If (conds, call))
+      active
+  in
+  match stmts with [] -> Ast.Nop | [ s ] -> s | _ -> Ast.Block stmts
+
+let rec gen ctx active (node : Schedule_tree.t) : Ast.t =
+  match node with
+  | Schedule_tree.Leaf -> leaf_code ctx active
+  | Schedule_tree.Domain (dom, child) ->
+      let active =
+        List.map
+          (fun piece ->
+            let stmt = Prog.find_stmt ctx.prog (Bset.tuple piece) in
+            let aligned = Bset.align_params piece (Array.of_list (Prog.param_names ctx.prog)) in
+            { stmt; sys = aligned.Bset.cstrs })
+          (Iset.pieces dom)
+      in
+      gen ctx active child
+  | Schedule_tree.Filter (f, child) ->
+      let names = Iset.tuples f in
+      let active =
+        List.filter (fun st -> List.mem st.stmt.Prog.stmt_name names) active
+      in
+      if active = [] then Ast.Nop else gen ctx active child
+  | Schedule_tree.Sequence cs ->
+      let parts = List.map (gen ctx active) cs in
+      Ast.Block (List.filter (fun p -> p <> Ast.Nop) parts)
+  | Schedule_tree.Mark ("skipped", _) -> Ast.Nop
+  | Schedule_tree.Mark ("kernel", child) ->
+      let id = !(ctx.kernel_counter) in
+      incr ctx.kernel_counter;
+      Ast.Kernel (id, gen ctx active child)
+  | Schedule_tree.Mark (_, child) -> gen ctx active child
+  | Schedule_tree.Extension (ext, child) ->
+      let new_states =
+        List.map
+          (fun piece ->
+            let sp = Bmap.space piece in
+            let stmt = Prog.find_stmt ctx.prog sp.Space.out_tuple in
+            let tile_lvars =
+              match List.assoc_opt sp.Space.in_tuple ctx.sched_vars with
+              | Some vs -> vs
+              | None ->
+                  invalid_arg
+                    ("Gen: extension over unknown schedule tuple " ^ sp.Space.in_tuple)
+            in
+            let nd = Bset.n_dims stmt.Prog.domain in
+            let width = np ctx + nl ctx + nd in
+            let in_cols =
+              Array.map
+                (fun v ->
+                  match Array.find_index (( = ) v) ctx.lvars with
+                  | Some i -> np ctx + i
+                  | None -> assert false)
+                tile_lvars
+            in
+            let out_cols = Array.init nd (fun d -> np ctx + nl ctx + d) in
+            let lifted =
+              List.map
+                (lift_map_cstr ~from_params:sp.Space.params ~ctx ~width ~in_cols
+                   ~out_cols)
+                piece.Bmap.cstrs
+            in
+            (* also enforce the statement's own domain *)
+            let dom =
+              Bset.align_params stmt.Prog.domain
+                (Array.of_list (Prog.param_names ctx.prog))
+            in
+            let dom_cstrs =
+              List.map
+                (fun (c : Cstr.t) ->
+                  let row = Array.make width 0 in
+                  Array.blit c.coef 0 row 0 (np ctx);
+                  Array.blit c.coef (np ctx) row (np ctx + nl ctx) nd;
+                  { c with coef = row })
+                dom.Bset.cstrs
+            in
+            { stmt; sys = lifted @ dom_cstrs })
+          (Imap.pieces ext)
+      in
+      gen ctx (active @ new_states) child
+  | Schedule_tree.Band (band, child) ->
+      gen_band ctx active band child
+
+and gen_band ctx active band child =
+  let pieces = Imap.pieces band.Schedule_tree.partial in
+  let n = band.Schedule_tree.n_members in
+  let schedules_someone =
+    List.exists
+      (fun st ->
+        List.exists
+          (fun p -> (Bmap.space p).Space.in_tuple = st.stmt.Prog.stmt_name)
+          pieces)
+      active
+  in
+  if n = 0 || not schedules_someone then gen ctx active child
+  else begin
+    (* introduce n new loop variables *)
+    let new_names = Array.init n (fun _ -> fresh_lvar ctx) in
+    let base_nl = nl ctx in
+    let states = ref active in
+    let ctx = ref ctx in
+    Array.iter
+      (fun name ->
+        states := insert_lvar_cols !ctx !states;
+        ctx :=
+          { !ctx with
+            lvars = Array.append !ctx.lvars [| name |];
+            enforced =
+              List.map
+                (fun c -> Cstr.insert_vars c ~pos:(Array.length c.Cstr.coef) ~count:1)
+                !ctx.enforced
+          })
+      new_names;
+    let ctx = !ctx in
+    (* attach each piece's constraints to its statement's system *)
+    let out_tuple = ref None in
+    let scheduled = Hashtbl.create 8 in
+    let states =
+      List.map
+        (fun st ->
+          match
+            List.find_opt
+              (fun p -> (Bmap.space p).Space.in_tuple = st.stmt.Prog.stmt_name)
+              pieces
+          with
+          | None -> st
+          | Some piece ->
+              let sp = Bmap.space piece in
+              out_tuple := Some sp.Space.out_tuple;
+              Hashtbl.replace scheduled st.stmt.Prog.stmt_name ();
+              let nd = Bset.n_dims st.stmt.Prog.domain in
+              let width = np ctx + nl ctx + nd in
+              let in_cols = Array.init nd (fun d -> np ctx + nl ctx + d) in
+              let out_cols =
+                Array.init n (fun j -> np ctx + base_nl + j)
+              in
+              let lifted =
+                List.map
+                  (lift_map_cstr ~from_params:sp.Space.params ~ctx ~width ~in_cols
+                     ~out_cols)
+                  piece.Bmap.cstrs
+              in
+              { st with sys = lifted @ st.sys })
+        !states
+    in
+    let ctx =
+      match !out_tuple with
+      | Some t -> { ctx with sched_vars = (t, new_names) :: ctx.sched_vars }
+      | None -> ctx
+    in
+    (* build loops outermost-first *)
+    let rec build j ctx =
+      if j = n then gen ctx states child
+      else begin
+        let col = np ctx + base_nl + j in
+        let contributing =
+          List.filter (fun st -> Hashtbl.mem scheduled st.stmt.Prog.stmt_name) states
+        in
+        let per_stmt =
+          List.map
+            (fun st ->
+              let projected = project_to_lvars ~upto:(base_nl + j) ctx st in
+              (st, projected, bounds_exprs ctx col projected))
+            contributing
+        in
+        let lbs = List.map (fun (_, _, (lo, _)) -> Ast.Max_of lo) per_stmt in
+        let ubs = List.map (fun (_, _, (_, up)) -> Ast.Min_of up) per_stmt in
+        let lb = Ast.simplify_expr (Ast.Min_of lbs) in
+        let ub = Ast.simplify_expr (Ast.Max_of ubs) in
+        let ctx =
+          (* constraints shared by every contributing statement's
+             projection are guaranteed by the emitted loop bounds; record
+             them so leaf guards can be pruned. Projections have their
+             statement-dim columns zeroed, so truncating to
+             [params; lvars] is lossless. *)
+          let width = np ctx + nl ctx in
+          (* only constraints mentioning the new loop variable are
+             enforced by its bounds; constraints purely over outer
+             variables are NOT (the loop runs regardless of them). *)
+          let normalize (c : Cstr.t) =
+            if c.Cstr.coef.(col) = 0 then None
+            else
+              match
+                Cstr.simplify { c with Cstr.coef = Array.sub c.Cstr.coef 0 width }
+              with
+              | Cstr.Keep c -> Some c
+              | Cstr.Trivial_true | Cstr.Trivial_false -> None
+          in
+          let truncated =
+            List.map
+              (fun (_, projected, _) -> List.filter_map normalize projected)
+              per_stmt
+          in
+          match truncated with
+          | [] -> ctx
+          | first :: rest ->
+              let common =
+                List.filter
+                  (fun c -> List.for_all (fun other -> List.mem c other) rest)
+                  first
+              in
+              { ctx with enforced = common @ ctx.enforced }
+        in
+        Ast.For
+          { var = new_names.(j);
+            lb;
+            ub;
+            coincident = band.Schedule_tree.coincident.(j);
+            body = build (j + 1) ctx
+          }
+      end
+    in
+    build 0 ctx
+  end
+
+let generate (p : Prog.t) tree =
+  let ctx =
+    { prog = p;
+      params = Array.of_list (Prog.param_names p);
+      lvars = [||];
+      sched_vars = [];
+      enforced = [];
+      counter = ref 0;
+      kernel_counter = ref 0
+    }
+  in
+  gen ctx [] tree

@@ -1,0 +1,11 @@
+(** Polyhedral code generation: scan a schedule tree into a loop AST
+    (Ancourt-Irigoin bound projection per band dimension, guards at the
+    leaves for constraints not enforced by the loop bounds).
+
+    "skipped" marks suppress their subtree (the post-tiling fusion
+    protocol); "kernel" marks become {!Ast.Kernel} regions. *)
+
+val generate : Prog.t -> Schedule_tree.t -> Ast.t
+(** Raises [Invalid_argument] when a statement dimension is not
+    functionally determined at a leaf (i.e. the tree under-schedules a
+    statement). *)

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Build_tree Deps Fusion List Post_tiling Prog Schedule_tree Spaces

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Deps Fusion Post_tiling Prog Schedule_tree Spaces

@@ -1,0 +1,1 @@
+lib/core/post_tiling.ml: Array Bmap Bset Build_tree Fusion Hashtbl Imap Iset List Option Presburger Prog Schedule_tree Spaces Tile_shapes

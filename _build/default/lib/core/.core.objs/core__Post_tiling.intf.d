@@ -1,0 +1,1 @@
+lib/core/post_tiling.mli: Prog Schedule_tree Spaces Tile_shapes

@@ -1,0 +1,1 @@
+lib/core/spaces.ml: Fusion List Printf Prog

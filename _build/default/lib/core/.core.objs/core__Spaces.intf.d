@@ -1,0 +1,1 @@
+lib/core/spaces.mli: Fusion Prog

@@ -1,0 +1,1 @@
+lib/core/tile_shapes.ml: Array Bmap Bset Build_tree Fm Fusion Imap Iset List Map Presburger Printf Prog Schedule_tree Space Spaces String

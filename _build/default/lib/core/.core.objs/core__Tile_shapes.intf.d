@@ -1,0 +1,1 @@
+lib/core/tile_shapes.mli: Fusion Imap Iset Presburger Prog Spaces

@@ -1,0 +1,82 @@
+type target = Cpu | Gpu | Npu
+
+let parallelism_cap = function Cpu -> 1 | Gpu -> 2 | Npu -> 2
+
+type compiled = {
+  prog : Prog.t;
+  deps : Deps.t list;
+  spaces : Spaces.t list;
+  plan : Post_tiling.plan;
+  tree : Schedule_tree.t;
+  startup : Fusion.result;
+  search_steps : int;
+}
+
+let default_sizes ~tile_size (s : Spaces.t) =
+  Array.make s.Spaces.group.Fusion.band_dims tile_size
+
+(* The start-up fusion defaults to Smartfuse: our IR splits imperfect
+   nests into consecutive perfect nests, so the nest-level "minfuse"
+   grouping the paper starts from (which keeps an initialization
+   statement with its reduction) corresponds to the
+   parallelism-preserving heuristic at statement granularity. *)
+let run ?(startup = Fusion.Smartfuse) ?(tile_size = 32) ?tile_sizes_for
+    ?fuse_reductions ?fusable ?recompute_limit ~target prog =
+  let deps = Deps.compute prog in
+  let cap = parallelism_cap target in
+  let result =
+    Fusion.schedule ?fuse_reductions prog ~deps ~target_parallelism:cap startup
+  in
+  let spaces = Spaces.of_result prog result in
+  let tile_sizes_for =
+    match tile_sizes_for with
+    | Some f -> f
+    | None -> default_sizes ~tile_size
+  in
+  let plan =
+    Post_tiling.plan prog ~spaces ~tile_sizes_for ~parallelism_cap:cap ?fusable
+      ?recompute_limit
+  in
+  let tree = Post_tiling.to_tree prog ~spaces plan in
+  { prog;
+    deps;
+    spaces;
+    plan;
+    tree;
+    startup = result;
+    search_steps = result.Fusion.search_steps
+  }
+
+type baseline = {
+  b_prog : Prog.t;
+  b_result : Fusion.result;
+  b_tree : Schedule_tree.t;
+}
+
+(* Rectangular tiling-after-fusion: tile every permutable group band.
+   The rewrite is top-down and only touches the outer (group) band of
+   each fusion group; inner per-statement bands stay untiled. *)
+let tiled_tree (p : Prog.t) (r : Fusion.result) ~tile_size =
+  let open Schedule_tree in
+  let tile_group = function
+    | Filter (f, Band (b, child)) when b.permutable && b.n_members > 0 ->
+        let sizes = Array.make b.n_members tile_size in
+        let tile, point = tile_band b ~tile_sizes:sizes ~prefix:"T_" in
+        Filter (f, Mark ("kernel", Band (tile, Band (point, child))))
+    | other -> other
+  in
+  match Build_tree.initial_tree p r with
+  | Domain (d, Sequence cs) -> Domain (d, Sequence (List.map tile_group cs))
+  | Domain (d, single) -> Domain (d, tile_group single)
+  | other -> other
+
+let run_heuristic ?(tile_size = 32) ?max_steps ?fuse_reductions ~target
+    heuristic prog =
+  let deps = Deps.compute prog in
+  let cap = parallelism_cap target in
+  let result =
+    Fusion.schedule ?max_steps ?fuse_reductions prog ~deps
+      ~target_parallelism:cap heuristic
+  in
+  let tree = tiled_tree prog result ~tile_size in
+  { b_prog = prog; b_result = result; b_tree = tree }

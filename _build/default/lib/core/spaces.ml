@@ -1,0 +1,56 @@
+type t = {
+  id : int;
+  group : Fusion.group;
+  writes : string list;
+  reads : string list;
+  live_out : bool;
+}
+
+let dedup l =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] l
+
+let of_result (p : Prog.t) (r : Fusion.result) =
+  List.mapi
+    (fun id (g : Fusion.group) ->
+      let stmts = List.map (Prog.find_stmt p) g.Fusion.stmts in
+      let writes = dedup (List.map (fun s -> s.Prog.write.Prog.array) stmts) in
+      let reads =
+        dedup
+          (List.concat_map
+             (fun s -> List.map (fun (a : Prog.access) -> a.Prog.array) s.Prog.reads)
+             stmts)
+      in
+      let live_out = List.exists (fun a -> List.mem a p.Prog.live_out) writes in
+      { id; group = g; writes; reads; live_out })
+    r.Fusion.groups
+
+let find spaces id =
+  match List.find_opt (fun s -> s.id = id) spaces with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Spaces.find: %d" id)
+
+let consumers spaces s =
+  List.filter
+    (fun c -> c.id <> s.id && List.exists (fun a -> List.mem a c.reads) s.writes)
+    spaces
+
+let producers spaces s =
+  List.filter
+    (fun c -> c.id <> s.id && List.exists (fun a -> List.mem a s.reads) c.writes)
+    spaces
+
+let producer_closure spaces s =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+        let new_producers =
+          producers spaces x
+          |> List.filter (fun c ->
+                 (not c.live_out)
+                 && (not (List.exists (fun y -> y.id = c.id) seen))
+                 && c.id <> s.id)
+        in
+        go (seen @ new_producers) (rest @ new_producers)
+  in
+  go [] [ s ] |> List.sort (fun a b -> compare a.id b.id)

@@ -1,0 +1,26 @@
+(** Computation spaces: the fusion groups produced by the start-up
+    (conservative) heuristic, classified into live-out and intermediate
+    spaces (Section III of the paper). *)
+
+type t = {
+  id : int;  (** position in topological order *)
+  group : Fusion.group;
+  writes : string list;  (** arrays written by the space *)
+  reads : string list;  (** arrays read by the space *)
+  live_out : bool;
+}
+
+val of_result : Prog.t -> Fusion.result -> t list
+
+val find : t list -> int -> t
+
+val consumers : t list -> t -> t list
+(** Spaces that read an array this space writes (excluding itself). *)
+
+val producers : t list -> t -> t list
+(** Spaces that write an array this space reads (excluding itself). *)
+
+val producer_closure : t list -> t -> t list
+(** Transitive producers of a space reached through intermediate spaces
+    only, in topological (producer-first) order; excludes the space
+    itself and any live-out space. *)

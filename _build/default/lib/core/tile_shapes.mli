@@ -1,0 +1,59 @@
+(** Algorithm 1 of the paper: construct arbitrary tile shapes.
+
+    Rectangular/parallelogram tiling is applied only to the live-out
+    computation space; the memory footprints of each tile (relation (4))
+    are composed with reversed write accesses (relation (5)) to obtain
+    extension schedules (relation (6)) that tile the intermediate
+    computation spaces — including overlapped tile shapes — without
+    rescheduling and without non-affine constraints. *)
+
+open Presburger
+
+type extension = {
+  space_id : int;
+  ext_rel : Imap.t;
+      (** tile coordinates -> intermediate statement instances; one piece
+          per statement of the space *)
+  via_arrays : string list;
+      (** upwards-exposed arrays that induced this extension *)
+  parents : int list;
+      (** spaces whose footprints the derivation passed through
+          ([-1] denotes the live-out space itself); used to cascade
+          un-fusion decisions *)
+}
+
+type tiling = {
+  liveout_id : int;
+  tile_space : string;  (** tuple name of the tile coordinates *)
+  tile_sizes : int array;  (** per band dimension of the live-out band *)
+  tile_rel : Imap.t;  (** live-out statement instances -> tile coordinates *)
+  m : int;  (** parallel dimensions of the tiling schedule, after capping *)
+  extensions : extension list;  (** topological (producer-first) order *)
+  untiled : int list;  (** spaces rejected by the [m > n] guard *)
+}
+
+val tile_relation :
+  Prog.t -> Fusion.group -> name:string -> tile_sizes:int array -> Imap.t
+(** The tiling schedule restricted to statement domains: instances ->
+    tile coordinates (relation (2) of the paper, as a relation). *)
+
+val footprint_of_tile : tile:int array -> Prog.t -> Imap.t -> Iset.t
+(** Concrete image of one tile coordinate under a tile->X relation, with
+    parameters bound (used by tests and the machine models). *)
+
+val fused_stmts : extension -> string list
+(** Statements actually scheduled by an extension (a space containing
+    dynamically guarded statements is fused only partially). *)
+
+val construct :
+  ?recompute_limit:float -> Prog.t -> liveout:Spaces.t ->
+  intermediates:Spaces.t list -> tile_sizes:int array ->
+  parallelism_cap:int -> tiling
+(** Run Algorithm 1 for one live-out space over its (transitive
+    intermediate) producers. [intermediates] must be in topological
+    order. The live-out band must be permutable; callers pass tile size 1
+    on every dimension to express fusion-without-tiling (the equake
+    case). [recompute_limit] (default 4.0) bounds the tolerated
+    recomputation ratio of a fused statement (total instances across
+    tiles vs its domain); beyond it the statement stays unfused -- the
+    cost-model guard the AKG implementation couples with Algorithm 1. *)

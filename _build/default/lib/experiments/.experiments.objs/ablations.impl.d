@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Conv2d Core Cpu_model Equake Exp_util Fusion List Polybench Polymage Printf Prog

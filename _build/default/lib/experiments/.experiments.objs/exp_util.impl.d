@@ -1,0 +1,1 @@
+lib/experiments/exp_util.ml: Array Ast Build_tree Competitors Core Cpu_model Deps Footprints Fusion Gen Gpu_model Hashtbl Interp List Printf Prog String Unix

@@ -1,0 +1,1 @@
+lib/experiments/exp_util.mli: Ast Core Cpu_model Footprints Fusion Prog

@@ -1,0 +1,1 @@
+lib/experiments/paper_experiments.ml: Array Core Equake Exp_util Fusion Hashtbl List Npu_model Polybench Polymage Printf Prog Registry Resnet

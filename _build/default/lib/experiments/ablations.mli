@@ -1,0 +1,21 @@
+(** Ablation studies for the design choices DESIGN.md calls out. *)
+
+val recompute_limit_sweep : unit -> unit
+(** The cost-model guard of Algorithm 1: sweep the tolerated
+    recomputation ratio on gemver (pathological: a reduction whose whole
+    output every tile needs) and harris (benign overlap): modelled time
+    and executed instances per setting. *)
+
+val tile_size_sweep : unit -> unit
+(** Tile-size selection (Section VII notes auto-tuners complement the
+    approach): conv2d and harris across tile edges. *)
+
+val parallelism_cap_ablation : unit -> unit
+(** The platform-dependent [m] of Algorithm 1 (1 for CPUs, 2 for GPUs):
+    fused-space counts and GPU time under both caps. *)
+
+val startup_ablation : unit -> unit
+(** Start-up heuristic choice (minfuse-grouped nests vs smartfuse):
+    spaces, fused spaces, modelled time. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/machine/cpu_model.ml: Ast Cache Hashtbl Interp List Option Prog

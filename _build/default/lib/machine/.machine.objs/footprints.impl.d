@@ -1,0 +1,1 @@
+lib/machine/footprints.ml: Array Bmap Bset Core Fusion Imap Interp Iset List Presburger Printf Prog Space

@@ -1,0 +1,1 @@
+lib/machine/footprints.mli: Core Imap Presburger Prog

@@ -1,0 +1,1 @@
+lib/machine/gpu_model.ml: Float Footprints List Prog

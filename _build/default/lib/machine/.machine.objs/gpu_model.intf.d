@@ -1,0 +1,1 @@
+lib/machine/gpu_model.mli: Footprints Prog

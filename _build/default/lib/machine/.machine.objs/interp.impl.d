@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Ast Float Hashtbl List Option Printf Prog

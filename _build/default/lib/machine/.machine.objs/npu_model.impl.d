@@ -1,0 +1,1 @@
+lib/machine/npu_model.ml: Float Footprints List Presburger Prog

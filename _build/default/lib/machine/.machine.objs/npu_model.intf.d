@@ -1,0 +1,1 @@
+lib/machine/npu_model.mli: Footprints Prog

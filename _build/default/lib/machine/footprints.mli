@@ -1,0 +1,51 @@
+(** Polyhedral traffic/footprint accounting shared by the analytic GPU
+    and NPU models.
+
+    A compiled program is summarized as a list of clusters (one per
+    generated kernel): the statements it executes, the relation from
+    statement instances to the tiles that execute them (so recomputation
+    from overlapped tiling is counted), and which arrays are staged in
+    on-chip memory (fused intermediates).
+
+    Traffic rules, per cluster and array:
+    - reads of an array written by the same cluster are served on-chip;
+    - reads of a staged (fused) array are served on-chip;
+    - other reads cost one transaction per (tile, element) pair — the
+      element is loaded once per tile that needs it (shared-memory /
+      scratchpad staging granularity);
+    - writes cost one transaction per element, and only arrays that are
+      live-out or read by a later cluster are written back. *)
+
+open Presburger
+
+type cluster = {
+  stmts : string list;
+  inst_tiles : (string * Imap.t) list;
+      (** per statement: instances -> tile coordinates executing them;
+          an instance mapped to several tiles is recomputed *)
+  staged_arrays : string list;
+  tile_count : int;
+  parallel_tiles : bool;
+      (** tiles can run concurrently (the outer band is coincident);
+          serialized fusions (maxfuse fallback) occupy a single unit *)
+  point_instances : int;  (** executed instances, recomputation included *)
+  ops : int;  (** executed operations, recomputation included *)
+}
+
+type traffic = {
+  read_bytes : int;
+  write_bytes : int;
+}
+
+val clusters_of_compiled : Core.Pipeline.compiled -> cluster list
+
+val clusters_of_baseline : tile_size:int -> Core.Pipeline.baseline -> cluster list
+
+val cluster_traffic : Prog.t -> previous:cluster list -> cluster -> traffic
+(** [previous] is the list of clusters executing before this one (used
+    to decide write-back of intermediates read later). The full program
+    live-out set always forces write-back. *)
+
+val staged_bytes : Prog.t -> cluster -> int
+(** On-chip bytes needed per tile for the staged arrays (maximum over
+    tiles of the staged footprints). *)

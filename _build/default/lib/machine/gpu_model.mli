@@ -1,0 +1,30 @@
+(** Analytic GPU performance model over polyhedral cluster summaries.
+
+    Each cluster is one kernel launch: its time is the maximum of an
+    arithmetic-throughput term (scaled by how many SMs its blocks can
+    occupy) and a global-memory term (traffic from
+    {!Footprints.cluster_traffic}), plus a fixed launch overhead. Fused
+    intermediates whose per-tile footprint fits in shared memory are
+    served on-chip; otherwise the cluster is re-costed without staging. *)
+
+type config = {
+  sms : int;
+  flops_per_sm_per_cycle : float;
+  freq_mhz : float;
+  mem_gbps : float;
+  launch_us : float;
+  shared_kb : int;
+}
+
+val quadro_p6000 : config
+
+type kernel_time = {
+  kt_compute_us : float;
+  kt_memory_us : float;
+  kt_launch_us : float;
+  kt_spilled : bool;  (** staged footprint exceeded shared memory *)
+}
+
+val kernel_times : config -> Prog.t -> Footprints.cluster list -> kernel_time list
+
+val time_ms : config -> Prog.t -> Footprints.cluster list -> float

@@ -1,0 +1,163 @@
+let elem_bytes = 4
+
+type array_store = {
+  data : float array;
+  extents : int array;
+  strides : int array;  (** row-major *)
+  base : int;  (** byte address for cache simulation *)
+}
+
+type memory = { arrays : (string, array_store) Hashtbl.t }
+
+let alloc (p : Prog.t) =
+  let arrays = Hashtbl.create 16 in
+  let next_base = ref 0 in
+  List.iter
+    (fun (a : Prog.array_decl) ->
+      let extents = Array.of_list (Prog.array_extent p a.Prog.array_name) in
+      let n = Array.fold_left ( * ) 1 extents in
+      let nd = Array.length extents in
+      let strides = Array.make nd 1 in
+      for d = nd - 2 downto 0 do
+        strides.(d) <- strides.(d + 1) * extents.(d + 1)
+      done;
+      Hashtbl.replace arrays a.Prog.array_name
+        { data = Array.make (max n 1) 0.0; extents; strides; base = !next_base };
+      (* pad to a cache line *)
+      next_base := !next_base + (((n * elem_bytes) + 63) / 64 * 64))
+    p.Prog.arrays;
+  { arrays }
+
+let store mem name =
+  match Hashtbl.find_opt mem.arrays name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Interp: unknown array %s" name)
+
+let base_of mem name = (store mem name).base
+
+let read_array mem name = (store mem name).data
+
+let fill mem name f =
+  let s = store mem name in
+  let nd = Array.length s.extents in
+  let idx = Array.make nd 0 in
+  let rec walk d flat =
+    if d = nd then s.data.(flat) <- f idx
+    else
+      for v = 0 to s.extents.(d) - 1 do
+        idx.(d) <- v;
+        walk (d + 1) (flat + (v * s.strides.(d)))
+      done
+  in
+  walk 0 0
+
+type stats = {
+  mutable instances : int;
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  per_stmt : (string, int) Hashtbl.t;
+  per_kernel_ops : (int, int) Hashtbl.t;
+}
+
+let flat_index (s : array_store) ~array idxs =
+  let nd = Array.length s.extents in
+  if List.length idxs <> nd then
+    invalid_arg (Printf.sprintf "Interp: arity mismatch on %s" array);
+  let flat = ref 0 in
+  List.iteri
+    (fun d v ->
+      if v < 0 || v >= s.extents.(d) then
+        invalid_arg
+          (Printf.sprintf "Interp: out of bounds on %s dim %d: %d (extent %d)"
+             array d v s.extents.(d));
+      flat := !flat + (v * s.strides.(d)))
+    idxs;
+  !flat
+
+let run ?observer (p : Prog.t) ast mem =
+  let stats =
+    { instances = 0;
+      ops = 0;
+      reads = 0;
+      writes = 0;
+      per_stmt = Hashtbl.create 8;
+      per_kernel_ops = Hashtbl.create 8
+    }
+  in
+  let params = p.Prog.params in
+  let stmt_tbl = Hashtbl.create 8 in
+  List.iter (fun (s : Prog.stmt) -> Hashtbl.replace stmt_tbl s.Prog.stmt_name s) p.Prog.stmts;
+  let kernel = ref (-1) in
+  let notify ~addr ~write =
+    match observer with
+    | Some f -> f ~kernel:!kernel ~addr ~write
+    | None -> ()
+  in
+  let exec_call name args =
+    let stmt =
+      match Hashtbl.find_opt stmt_tbl name with
+      | Some s -> s
+      | None -> invalid_arg (Printf.sprintf "Interp: unknown statement %s" name)
+    in
+    let inst = Array.of_list args in
+    let proceed = match stmt.Prog.guard with Some g -> g inst | None -> true in
+    if proceed then begin
+      stats.instances <- stats.instances + 1;
+      Hashtbl.replace stats.per_stmt name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt stats.per_stmt name));
+      let read_value (a : Prog.access) =
+        let s = store mem a.Prog.array in
+        let idxs =
+          List.map (fun ix -> Prog.eval_index_with_params params ix inst) a.Prog.indices
+        in
+        let flat = flat_index s ~array:a.Prog.array idxs in
+        stats.reads <- stats.reads + 1;
+        notify ~addr:(s.base + (flat * elem_bytes)) ~write:false;
+        s.data.(flat)
+      in
+      let values = Array.of_list (List.map read_value stmt.Prog.reads) in
+      let result = stmt.Prog.compute values in
+      let wa = stmt.Prog.write in
+      let ws = store mem wa.Prog.array in
+      let widxs =
+        List.map (fun ix -> Prog.eval_index_with_params params ix inst) wa.Prog.indices
+      in
+      let wflat = flat_index ws ~array:wa.Prog.array widxs in
+      stats.writes <- stats.writes + 1;
+      notify ~addr:(ws.base + (wflat * elem_bytes)) ~write:true;
+      ws.data.(wflat) <- result;
+      stats.ops <- stats.ops + stmt.Prog.ops;
+      Hashtbl.replace stats.per_kernel_ops !kernel
+        (stmt.Prog.ops
+        + Option.value ~default:0 (Hashtbl.find_opt stats.per_kernel_ops !kernel))
+    end
+  in
+  let rec exec env = function
+    | Ast.Nop -> ()
+    | Ast.Block ts -> List.iter (exec env) ts
+    | Ast.Kernel (k, t) ->
+        let saved = !kernel in
+        kernel := k;
+        exec env t;
+        kernel := saved
+    | Ast.If (conds, body) ->
+        if
+          List.for_all (fun c -> Ast.eval_expr ~params ~env c >= 0) conds
+        then exec env body
+    | Ast.For { var; lb; ub; body; _ } ->
+        let lo = Ast.eval_expr ~params ~env lb in
+        let hi = Ast.eval_expr ~params ~env ub in
+        for v = lo to hi do
+          exec ((var, v) :: env) body
+        done
+    | Ast.Call { stmt; args } ->
+        exec_call stmt (List.map (Ast.eval_expr ~params ~env) args)
+  in
+  exec [] ast;
+  stats
+
+let arrays_equal ?(eps = 1e-6) m1 m2 name =
+  let a = read_array m1 name and b = read_array m2 name in
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps *. (1.0 +. Float.abs x)) a b

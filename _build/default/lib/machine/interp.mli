@@ -1,0 +1,40 @@
+(** Reference interpreter for generated loop ASTs: executes statement
+    semantics over concrete float arrays, with bounds checking and an
+    access observer for trace-driven machine models.
+
+    Executing the same program under two different schedules and
+    comparing the final arrays is the semantic-equivalence oracle used
+    throughout the test suite. *)
+
+type memory
+
+val alloc : Prog.t -> memory
+
+val base_of : memory -> string -> int
+(** Byte base address of an array (for cache simulation). *)
+
+val elem_bytes : int
+
+val read_array : memory -> string -> float array
+
+val fill : memory -> string -> (int array -> float) -> unit
+(** Initialize an array: the function receives the multi-dimensional
+    index. *)
+
+type stats = {
+  mutable instances : int;  (** executed statement instances *)
+  mutable ops : int;  (** arithmetic operations *)
+  mutable reads : int;
+  mutable writes : int;
+  per_stmt : (string, int) Hashtbl.t;
+  per_kernel_ops : (int, int) Hashtbl.t;
+}
+
+val run :
+  ?observer:(kernel:int -> addr:int -> write:bool -> unit) ->
+  Prog.t -> Ast.t -> memory -> stats
+(** Raises [Invalid_argument] on out-of-bounds accesses, naming the
+    array and index. Kernel id -1 denotes code outside any kernel
+    region. *)
+
+val arrays_equal : ?eps:float -> memory -> memory -> string -> bool

@@ -1,0 +1,26 @@
+(** Analytic model of the DaVinci-style NPU (Fig. 7 of the paper).
+
+    Matrix/tensor statements execute on the Cube unit, vector/scalar
+    statements on the Vector unit. Every cluster (fused operator group)
+    pays: off-chip (DDR) transfers for its non-staged inputs and
+    outputs, a fixed per-operator launch cost, and compute on the
+    respective units. Fusing a convolution with its batch normalization
+    keeps the intermediate in the Unified Buffer, eliminating the
+    dominant DDR round-trip — the effect Table III measures. *)
+
+type unit_kind = Cube | Vector
+
+type config = {
+  cube_flops_per_cycle : float;
+  vector_flops_per_cycle : float;
+  freq_mhz : float;
+  ddr_gbps : float;
+  launch_us : float;
+  unified_buffer_kb : int;
+}
+
+val ascend910 : config
+
+val time_ms :
+  config -> Prog.t -> kind_of:(string -> unit_kind) ->
+  Footprints.cluster list -> float

@@ -1,0 +1,1 @@
+lib/poly_ir/deps.ml: Array Bmap Bset Cstr Fm Imap List Presburger Prog Vec

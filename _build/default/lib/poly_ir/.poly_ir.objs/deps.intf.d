@@ -1,0 +1,1 @@
+lib/poly_ir/deps.mli: Bmap Imap Presburger Prog

@@ -1,0 +1,1 @@
+lib/poly_ir/prog.ml: Aff Array Bmap Bset Cstr Hashtbl List Option Presburger Printf Space Vec

@@ -1,0 +1,1 @@
+lib/poly_ir/prog.mli: Aff Bmap Bset Presburger

@@ -1,0 +1,207 @@
+open Presburger
+
+type kind = Raw | War | Waw
+
+type t = {
+  kind : kind;
+  src : string;
+  dst : string;
+  array : string;
+  rel : Imap.t;
+}
+
+let restrict (s : Prog.stmt) (a : Prog.access) =
+  Bmap.intersect_domain a.Prog.rel s.Prog.domain
+
+(* Same-element relation between a source access and a destination
+   access: src instance -> dst instance. *)
+let same_element (src_stmt : Prog.stmt) (src_acc : Prog.access)
+    (dst_stmt : Prog.stmt) (dst_acc : Prog.access) =
+  let src_rel = restrict src_stmt src_acc in
+  let dst_rel = restrict dst_stmt dst_acc in
+  Bmap.apply_range src_rel (Bmap.reverse dst_rel)
+
+let dep_pieces ~same_stmt (src_stmt : Prog.stmt) src_acc dst_stmt dst_acc =
+  let base = same_element src_stmt src_acc dst_stmt dst_acc in
+  if Bmap.is_empty base then []
+  else if not same_stmt then [ base ]
+  else
+    let order = Imap.lex_lt (Bset.space src_stmt.Prog.domain) in
+    List.filter_map
+      (fun piece ->
+        let i = Bmap.intersect base piece in
+        if Bmap.is_empty i then None else Some i)
+      (Imap.pieces order)
+
+let compute (p : Prog.t) =
+  let stmts = Array.of_list p.Prog.stmts in
+  let n = Array.length stmts in
+  let deps = ref [] in
+  let add kind src dst array pieces =
+    if pieces <> [] then
+      deps :=
+        { kind;
+          src = src.Prog.stmt_name;
+          dst = dst.Prog.stmt_name;
+          array;
+          rel = Imap.of_bmaps pieces
+        }
+        :: !deps
+  in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let si = stmts.(i) and sj = stmts.(j) in
+      let same = i = j in
+      (* RAW: si writes, sj reads *)
+      List.iter
+        (fun (r : Prog.access) ->
+          if r.Prog.array = si.Prog.write.Prog.array then
+            add Raw si sj r.Prog.array
+              (dep_pieces ~same_stmt:same si si.Prog.write sj r))
+        sj.Prog.reads;
+      (* WAR: si reads, sj writes *)
+      List.iter
+        (fun (r : Prog.access) ->
+          if r.Prog.array = sj.Prog.write.Prog.array then
+            add War si sj r.Prog.array
+              (dep_pieces ~same_stmt:same si r sj sj.Prog.write))
+        si.Prog.reads;
+      (* WAW *)
+      if si.Prog.write.Prog.array = sj.Prog.write.Prog.array then
+        add Waw si sj si.Prog.write.Prog.array
+          (dep_pieces ~same_stmt:same si si.Prog.write sj sj.Prog.write)
+    done
+  done;
+  List.rev !deps
+
+let raw_edges deps =
+  List.fold_left
+    (fun acc d ->
+      if d.kind = Raw && d.src <> d.dst && not (List.mem (d.src, d.dst) acc) then
+        acc @ [ (d.src, d.dst) ]
+      else acc)
+    [] deps
+
+let between deps ~src ~dst =
+  List.filter (fun d -> d.src = src && d.dst = dst) deps
+
+let delta_bounds (p : Prog.t) (piece : Bmap.t) ~src_dim ~dst_dim =
+  let piece = Bmap.bind_params piece p.Prog.params in
+  let np = Bmap.n_params piece in
+  let ni = Bmap.n_in piece and no = Bmap.n_out piece in
+  let w = np + ni + no in
+  (* Append a fresh variable t with t = dst_dim - src_dim, then eliminate
+     everything else and read constant bounds on t. *)
+  let cstrs =
+    List.map (fun c -> Cstr.insert_vars c ~pos:w ~count:1) (Bmap.domain_map_cstrs piece)
+  in
+  let teq =
+    let coef = Array.make (w + 1) 0 in
+    coef.(w) <- 1;
+    coef.(np + ni + dst_dim) <- -1;
+    coef.(np + src_dim) <- 1;
+    Cstr.eq coef 0
+  in
+  let vars = List.init w (fun i -> i) in
+  let residue =
+    try Fm.eliminate_many ~exact:true ~vars (teq :: cstrs)
+    with Fm.Inexact _ -> Fm.eliminate_many ~exact:false ~vars (teq :: cstrs)
+  in
+  let lowers, uppers = Fm.bounds_for ~var:w residue in
+  let lo =
+    List.fold_left
+      (fun acc (a, (c : Cstr.t)) ->
+        let v = Vec.ceil_div (-c.Cstr.cst) a in
+        match acc with None -> Some v | Some x -> Some (max x v))
+      None lowers
+  in
+  let hi =
+    List.fold_left
+      (fun acc (b, (c : Cstr.t)) ->
+        let v = Vec.floor_div c.Cstr.cst b in
+        match acc with None -> Some v | Some x -> Some (min x v))
+      None uppers
+  in
+  (lo, hi)
+
+let sccs (p : Prog.t) deps =
+  let names = List.map (fun s -> s.Prog.stmt_name) p.Prog.stmts in
+  let n = List.length names in
+  let index name = Prog.stmt_index p name in
+  let succ = Array.make n [] in
+  List.iter
+    (fun d ->
+      let i = index d.src and j = index d.dst in
+      if i <> j && not (List.mem j succ.(i)) then succ.(i) <- j :: succ.(i))
+    deps;
+  (* Tarjan *)
+  let idx = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    idx.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if idx.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
+      succ.(v);
+    if low.(v) = idx.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if idx.(v) < 0 then strongconnect v
+  done;
+  (* Order the components topologically, breaking ties by textual order
+     (Kahn's algorithm, always emitting the ready component whose first
+     statement appears earliest). The stable order matters downstream:
+     fusion merges adjacent groups, so independent nests must not
+     interleave with a producer-consumer chain. *)
+  let comps = Array.of_list (List.map (List.sort compare) !comps) in
+  let nc = Array.length comps in
+  let comp_of = Array.make n (-1) in
+  Array.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+  let indegree = Array.make nc 0 in
+  let comp_succ = Array.make nc [] in
+  Array.iteri
+    (fun v ws ->
+      List.iter
+        (fun w ->
+          let cv = comp_of.(v) and cw = comp_of.(w) in
+          if cv <> cw && not (List.mem cw comp_succ.(cv)) then begin
+            comp_succ.(cv) <- cw :: comp_succ.(cv);
+            indegree.(cw) <- indegree.(cw) + 1
+          end)
+        ws)
+    succ;
+  let emitted = Array.make nc false in
+  let order = ref [] in
+  for _ = 1 to nc do
+    let best = ref (-1) in
+    for ci = nc - 1 downto 0 do
+      if (not emitted.(ci)) && indegree.(ci) = 0 then
+        if !best < 0 || List.hd comps.(ci) < List.hd comps.(!best) then best := ci
+    done;
+    assert (!best >= 0);
+    emitted.(!best) <- true;
+    List.iter (fun cw -> indegree.(cw) <- indegree.(cw) - 1) comp_succ.(!best);
+    order := !best :: !order
+  done;
+  let name_of i = List.nth names i in
+  List.rev_map (fun ci -> List.map name_of comps.(ci)) !order

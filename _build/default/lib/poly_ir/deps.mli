@@ -1,0 +1,36 @@
+(** Memory-based dependence analysis over {!Prog.t}.
+
+    The original execution order is: statements in textual order, each a
+    complete nest; instances of a single statement in lexicographic
+    order of their domain. *)
+
+open Presburger
+
+type kind = Raw | War | Waw
+
+type t = {
+  kind : kind;
+  src : string;
+  dst : string;
+  array : string;
+  rel : Imap.t;  (** src instance -> dst instance, non-empty *)
+}
+
+val compute : Prog.t -> t list
+
+val raw_edges : t list -> (string * string) list
+(** Producer-consumer statement pairs, without duplicates. *)
+
+val between : t list -> src:string -> dst:string -> t list
+
+val delta_bounds :
+  Prog.t -> Bmap.t -> src_dim:int -> dst_dim:int -> int option * int option
+(** Bounds of [dst_dim(target) - src_dim(source)] over a dependence
+    relation piece, under the program's parameter binding. [None] means
+    unbounded on that side. Falls back to the rational relaxation (safe:
+    it can only widen the range) when exact elimination fails. *)
+
+val sccs : Prog.t -> t list -> string list list
+(** Strongly connected components of the statement dependence graph, in
+    topological order (sources first); statements inside a component are
+    in textual order. *)

@@ -1,0 +1,1 @@
+lib/presburger/bmap.ml: Aff Array Bset Cstr Fm List Printf Space String Vec

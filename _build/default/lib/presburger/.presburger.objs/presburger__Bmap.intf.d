@@ -1,0 +1,1 @@
+lib/presburger/bmap.mli: Aff Bset Cstr Space

@@ -1,0 +1,1 @@
+lib/presburger/bset.ml: Array Cstr Fm List Printf Space String Vec

@@ -1,0 +1,1 @@
+lib/presburger/fm.ml: Array Cstr Hashtbl List Printf Vec

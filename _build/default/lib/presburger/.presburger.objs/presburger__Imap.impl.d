@@ -1,0 +1,1 @@
+lib/presburger/imap.ml: Array Bmap Bset Cstr Iset List Space String

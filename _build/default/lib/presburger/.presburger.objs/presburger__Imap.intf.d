@@ -1,0 +1,1 @@
+lib/presburger/imap.mli: Bmap Iset Space

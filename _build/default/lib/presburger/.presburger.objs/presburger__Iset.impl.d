@@ -1,0 +1,1 @@
+lib/presburger/iset.ml: Bset List String

@@ -1,0 +1,1 @@
+lib/presburger/parse.ml: Aff Array Bmap Bset Cstr Imap Iset List Printf Space String Vec

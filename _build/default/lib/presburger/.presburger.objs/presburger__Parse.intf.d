@@ -1,0 +1,1 @@
+lib/presburger/parse.mli: Bmap Bset Imap Iset

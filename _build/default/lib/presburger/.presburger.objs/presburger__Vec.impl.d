@@ -1,0 +1,1 @@
+lib/presburger/vec.ml: Array List

@@ -1,0 +1,53 @@
+type t = { dims : (int * int) list; params : (string * int) list; cst : int }
+
+let zero = { dims = []; params = []; cst = 0 }
+
+let const cst = { zero with cst }
+
+let dim ?(coef = 1) i = { zero with dims = [ (i, coef) ] }
+
+let param ?(coef = 1) p = { zero with params = [ (p, coef) ] }
+
+let merge_assoc xs ys =
+  let tbl = Hashtbl.create 8 in
+  let note (k, v) =
+    Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter note xs;
+  List.iter note ys;
+  Hashtbl.fold (fun k v acc -> if v = 0 then acc else (k, v) :: acc) tbl []
+
+let add a b =
+  { dims = merge_assoc a.dims b.dims;
+    params = merge_assoc a.params b.params;
+    cst = a.cst + b.cst
+  }
+
+let scale k a =
+  if k = 0 then zero
+  else
+    { dims = List.map (fun (i, c) -> (i, k * c)) a.dims;
+      params = List.map (fun (p, c) -> (p, k * c)) a.params;
+      cst = k * a.cst
+    }
+
+let neg a = scale (-1) a
+
+let sub a b = add a (neg b)
+
+let add_const a k = { a with cst = a.cst + k }
+
+let to_coef_row ~n_params ~param_index ~n_dims ~dim_offset ~width a =
+  let row = Array.make width 0 in
+  List.iter
+    (fun (p, c) ->
+      let i = param_index p in
+      assert (i >= 0 && i < n_params);
+      row.(i) <- row.(i) + c)
+    a.params;
+  List.iter
+    (fun (d, c) ->
+      assert (d >= 0 && d < n_dims);
+      row.(dim_offset + d) <- row.(dim_offset + d) + c)
+    a.dims;
+  (row, a.cst)

@@ -1,0 +1,33 @@
+(** Symbolic affine expressions used to build constraints and maps.
+
+    Dimension references are positional indices into whichever dimension
+    block the consuming constructor targets (a set's dims, or a map's
+    input dims); parameters are referenced by name. *)
+
+type t = { dims : (int * int) list; params : (string * int) list; cst : int }
+(** [dims] maps dimension index to coefficient. *)
+
+val zero : t
+
+val const : int -> t
+
+val dim : ?coef:int -> int -> t
+
+val param : ?coef:int -> string -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val neg : t -> t
+
+val scale : int -> t -> t
+
+val add_const : t -> int -> t
+
+val to_coef_row :
+  n_params:int -> param_index:(string -> int) -> n_dims:int -> dim_offset:int ->
+  width:int -> t -> int array * int
+(** Lower to a coefficient row of the given [width]: parameters land at
+    their index, dimension [i] lands at [dim_offset + i]. Returns the row
+    and the constant. *)

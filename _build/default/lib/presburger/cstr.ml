@@ -1,0 +1,96 @@
+type kind = Eq | Ge
+
+type t = { kind : kind; coef : int array; cst : int }
+
+let nvars c = Array.length c.coef
+
+let eq coef cst = { kind = Eq; coef; cst }
+
+let ge coef cst = { kind = Ge; coef; cst }
+
+let eval c pt =
+  let acc = ref c.cst in
+  Array.iteri (fun i a -> acc := !acc + (a * pt.(i))) c.coef;
+  !acc
+
+let holds c pt =
+  let v = eval c pt in
+  match c.kind with Eq -> v = 0 | Ge -> v >= 0
+
+let negate_ge c =
+  assert (c.kind = Ge);
+  { kind = Ge; coef = Vec.scale (-1) c.coef; cst = -c.cst - 1 }
+
+type simplified = Trivial_true | Trivial_false | Keep of t
+
+let simplify c =
+  let g = Vec.gcd_array c.coef in
+  if g = 0 then
+    match c.kind with
+    | Eq -> if c.cst = 0 then Trivial_true else Trivial_false
+    | Ge -> if c.cst >= 0 then Trivial_true else Trivial_false
+  else if g = 1 then Keep c
+  else
+    match c.kind with
+    | Eq ->
+        if c.cst mod g <> 0 then Trivial_false
+        else Keep { c with coef = Array.map (fun a -> a / g) c.coef; cst = c.cst / g }
+    | Ge ->
+        (* g*f' + cst >= 0  <=>  f' >= -cst/g  <=>  f' + floor(cst/g) >= 0 *)
+        Keep
+          { c with
+            coef = Array.map (fun a -> a / g) c.coef;
+            cst = Vec.floor_div c.cst g
+          }
+
+let insert_vars c ~pos ~count = { c with coef = Vec.insert_zeros c.coef ~pos ~count }
+
+let remove_vars c ~pos ~count =
+  for i = pos to pos + count - 1 do
+    assert (c.coef.(i) = 0)
+  done;
+  { c with coef = Vec.remove c.coef ~pos ~count }
+
+let swap_blocks c ~pos1 ~len1 ~pos2 ~len2 =
+  assert (pos2 = pos1 + len1);
+  let n = Array.length c.coef in
+  let coef =
+    Array.init n (fun i ->
+        if i < pos1 || i >= pos2 + len2 then c.coef.(i)
+        else if i < pos1 + len2 then c.coef.(pos2 + (i - pos1))
+        else c.coef.(pos1 + (i - pos1 - len2)))
+  in
+  { c with coef }
+
+let to_string ?names c =
+  let name i =
+    match names with
+    | Some a when i < Array.length a -> a.(i)
+    | _ -> Printf.sprintf "x%d" i
+  in
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  Array.iteri
+    (fun i a ->
+      if a <> 0 then begin
+        if !first then begin
+          if a = -1 then Buffer.add_string buf "-"
+          else if a <> 1 then Buffer.add_string buf (string_of_int a);
+          first := false
+        end
+        else if a > 0 then begin
+          Buffer.add_string buf " + ";
+          if a <> 1 then Buffer.add_string buf (string_of_int a)
+        end
+        else begin
+          Buffer.add_string buf " - ";
+          if a <> -1 then Buffer.add_string buf (string_of_int (-a))
+        end;
+        Buffer.add_string buf (name i)
+      end)
+    c.coef;
+  if !first then Buffer.add_string buf (string_of_int c.cst)
+  else if c.cst > 0 then Buffer.add_string buf (Printf.sprintf " + %d" c.cst)
+  else if c.cst < 0 then Buffer.add_string buf (Printf.sprintf " - %d" (-c.cst));
+  Buffer.add_string buf (match c.kind with Eq -> " = 0" | Ge -> " >= 0");
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Affine constraints over a flat, positional variable space.
+
+    A constraint [{kind; coef; cst}] denotes [sum_i coef.(i)*x_i + cst >= 0]
+    (for [Ge]) or [= 0] (for [Eq]). The engine is purely positional; the
+    owning set/map assigns meaning (parameter, input, output) to each
+    column. *)
+
+type kind = Eq | Ge
+
+type t = { kind : kind; coef : int array; cst : int }
+
+val nvars : t -> int
+
+val eq : int array -> int -> t
+
+val ge : int array -> int -> t
+
+val eval : t -> int array -> int
+(** Value of the affine form at a point (ignoring [kind]). *)
+
+val holds : t -> int array -> bool
+
+val negate_ge : t -> t
+(** Logical negation of a [Ge] constraint: [not (f >= 0)] is [-f-1 >= 0]. *)
+
+type simplified = Trivial_true | Trivial_false | Keep of t
+
+val simplify : t -> simplified
+(** Normalize by the gcd of the coefficients, tightening the constant of
+    inequalities ([2x >= 1] becomes [x >= 1]); detect trivially true or
+    false constraints (zero coefficient vector). *)
+
+val insert_vars : t -> pos:int -> count:int -> t
+
+val remove_vars : t -> pos:int -> count:int -> t
+(** Caller must guarantee the removed columns are zero. *)
+
+val swap_blocks : t -> pos1:int -> len1:int -> pos2:int -> len2:int -> t
+(** Exchange two adjacent column blocks: requires [pos2 = pos1 + len1]. *)
+
+val to_string : ?names:string array -> t -> string

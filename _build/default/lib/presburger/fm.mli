@@ -1,0 +1,64 @@
+(** Fourier-Motzkin elimination with integer-exactness certification.
+
+    All functions operate on conjunctions of {!Cstr.t} over a flat variable
+    space of fixed width. Elimination zeroes the column of the eliminated
+    variable but keeps the constraint width unchanged; the caller drops the
+    column when removing the dimension from a space.
+
+    Exactness: eliminating a variable is integer-exact when every
+    lower/upper bound pair has a unit coefficient on one side, or when the
+    real and dark shadows of the pair coincide after normalization (this
+    covers the tiling pattern [T*o <= i < T*o + T]). [Inexact] is raised
+    when a required elimination cannot be certified, rather than silently
+    over-approximating. *)
+
+exception Inexact of string
+
+exception Infeasible
+(** Raised internally by some simplifications; public API returns options
+    or booleans instead. *)
+
+val false_cstr : int -> Cstr.t
+(** A canonical unsatisfiable constraint of the given width ([0 >= 1]). *)
+
+val dedup : Cstr.t list -> Cstr.t list option
+(** Cheap syntactic simplification: normalize every constraint, drop
+    trivially-true ones and duplicates, keep the tightest of parallel
+    inequalities. [None] when a constraint is trivially false or two
+    constraints are directly contradictory. *)
+
+val eliminate : exact:bool -> var:int -> Cstr.t list -> Cstr.t list
+(** Existentially project out variable [var]. With [~exact:true], raise
+    {!Inexact} when integer exactness cannot be certified; with
+    [~exact:false] return the (possibly over-approximate) real shadow. *)
+
+val eliminate_many : exact:bool -> vars:int list -> Cstr.t list -> Cstr.t list
+
+val is_empty : nvars:int -> Cstr.t list -> bool
+(** Integer emptiness. When an elimination step cannot be certified exact
+    the decision falls back to enumerating the rational relaxation box;
+    {!Inexact} is then only raised for unbounded systems. *)
+
+val sample : nvars:int -> Cstr.t list -> int array option
+(** An integer point of the system, or [None] if empty. On the exact
+    path the point is the lexicographic minimum over bounded dimensions;
+    otherwise the same enumeration fallback as {!is_empty} applies. *)
+
+val iter_points_by_enum : nvars:int -> Cstr.t list -> (int array -> unit) -> unit
+(** Enumerate every integer point (bounded systems only; the callback
+    argument is reused across calls). Complete but potentially slow;
+    used as a fallback by counting operations. *)
+
+val bounds_for : var:int -> Cstr.t list -> (int * Cstr.t) list * (int * Cstr.t) list
+(** [(lowers, uppers)] for [var]: a lower entry [(a, c)] has
+    [c.coef.(var) = a > 0] (reading [a*x >= -rest]); an upper entry
+    [(b, c)] has [c.coef.(var) = -b < 0] (reading [b*x <= rest]).
+    Equalities appear on both sides. *)
+
+val remove_redundant : nvars:int -> Cstr.t list -> Cstr.t list
+(** Feasibility-based redundancy removal: drop every inequality implied by
+    the others. Quadratic in the number of constraints; used to simplify
+    code-generation guards. *)
+
+val implies : nvars:int -> Cstr.t list -> Cstr.t -> bool
+(** [implies sys c] holds when every integer point of [sys] satisfies [c]. *)

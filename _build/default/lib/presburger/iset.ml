@@ -1,0 +1,109 @@
+type t = Bset.t list
+
+let empty = []
+
+let of_bset b = [ b ]
+
+let of_bsets bs = bs
+
+let pieces t = t
+
+let union a b = a @ b
+
+let union_all ts = List.concat ts
+
+let compatible a b =
+  Bset.tuple a = Bset.tuple b && Bset.n_dims a = Bset.n_dims b
+
+let intersect a b =
+  List.concat_map
+    (fun pa ->
+      List.filter_map
+        (fun pb ->
+          if compatible pa pb then
+            let i = Bset.intersect pa pb in
+            if Bset.is_empty i then None else Some i
+          else None)
+        b)
+    a
+
+let subtract a b =
+  List.concat_map
+    (fun pa ->
+      List.fold_left
+        (fun pieces pb ->
+          if pieces = [] then []
+          else if compatible pa pb then
+            List.concat_map (fun p -> Bset.subtract p pb) pieces
+          else pieces)
+        [ pa ] b)
+    a
+
+let is_empty t = List.for_all Bset.is_empty t
+
+let is_subset a b = is_empty (subtract a b)
+
+let is_equal a b = is_subset a b && is_subset b a
+
+let tuples t =
+  List.fold_left
+    (fun acc p ->
+      let tp = Bset.tuple p in
+      if List.mem tp acc then acc else acc @ [ tp ])
+    [] t
+
+let filter_tuple t name = List.filter (fun p -> Bset.tuple p = name) t
+
+let coalesce t =
+  let non_empty = List.filter (fun p -> not (Bset.is_empty p)) t in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+        let covered =
+          List.exists
+            (fun q -> compatible p q && Bset.is_subset p q)
+            (List.rev_append kept rest)
+        in
+        if covered then go kept rest else go (p :: kept) rest
+  in
+  go [] non_empty
+
+let make_disjoint t =
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         let remaining =
+           List.fold_left
+             (fun pieces prev ->
+               if pieces = [] then []
+               else if compatible p prev then
+                 List.concat_map (fun q -> Bset.subtract q prev) pieces
+               else pieces)
+             [ p ] acc
+         in
+         List.rev_append remaining acc)
+       [] t)
+
+let card t =
+  List.fold_left (fun acc p -> acc + Bset.card p) 0 (make_disjoint t)
+
+let bind_params t values = List.map (fun p -> Bset.bind_params p values) t
+
+let contains t ~tuple pt =
+  List.exists (fun p -> Bset.tuple p = tuple && Bset.contains p pt) t
+
+let sample t =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match Bset.sample p with
+          | Some pt -> Some (Bset.tuple p, pt)
+          | None -> None))
+    None t
+
+let to_string t =
+  match t with
+  | [] -> "{ }"
+  | _ -> String.concat " ; " (List.map Bset.to_string t)

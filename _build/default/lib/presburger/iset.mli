@@ -1,0 +1,49 @@
+(** Unions of basic sets, possibly over different tuples (isl
+    "union set"). Pieces with the same tuple may overlap; operations that
+    require disjointness (such as {!card}) establish it internally. *)
+
+type t
+
+val empty : t
+
+val of_bset : Bset.t -> t
+
+val of_bsets : Bset.t list -> t
+
+val pieces : t -> Bset.t list
+
+val union : t -> t -> t
+
+val union_all : t list -> t
+
+val intersect : t -> t -> t
+
+val subtract : t -> t -> t
+
+val is_empty : t -> bool
+
+val is_subset : t -> t -> bool
+
+val is_equal : t -> t -> bool
+
+val tuples : t -> string list
+(** Tuple names present, without duplicates, in first-appearance order. *)
+
+val filter_tuple : t -> string -> t
+
+val coalesce : t -> t
+(** Drop pieces contained in another piece and empty pieces. *)
+
+val make_disjoint : t -> t
+
+val card : t -> int
+(** Total number of integer points (parameters must be bound). *)
+
+val bind_params : t -> (string * int) list -> t
+
+val contains : t -> tuple:string -> int array -> bool
+(** Requires bound parameters. *)
+
+val sample : t -> (string * int array) option
+
+val to_string : t -> string

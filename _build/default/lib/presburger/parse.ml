@@ -1,0 +1,393 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbrack | Rbrack | Lbrace | Rbrace | Lparen | Rparen
+  | Comma | Semi | Colon
+  | Arrow
+  | Plus | Minus | Star
+  | Le | Lt | Ge | Gt | Eq_tok
+  | And | Or
+  | Eof
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '[' then (push Lbrack; incr i)
+    else if c = ']' then (push Rbrack; incr i)
+    else if c = '{' then (push Lbrace; incr i)
+    else if c = '}' then (push Rbrace; incr i)
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = ';' then (push Semi; incr i)
+    else if c = ':' then (push Colon; incr i)
+    else if c = '+' then (push Plus; incr i)
+    else if c = '*' then (push Star; incr i)
+    else if c = '-' then begin
+      if !i + 1 < n && src.[!i + 1] = '>' then (push Arrow; i := !i + 2)
+      else (push Minus; incr i)
+    end
+    else if c = '<' then begin
+      if !i + 1 < n && src.[!i + 1] = '=' then (push Le; i := !i + 2)
+      else (push Lt; incr i)
+    end
+    else if c = '>' then begin
+      if !i + 1 < n && src.[!i + 1] = '=' then (push Ge; i := !i + 2)
+      else (push Gt; incr i)
+    end
+    else if c = '=' then (push Eq_tok; incr i)
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      push (Int (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      let ok ch =
+        (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9') || ch = '_' || ch = '\''
+      in
+      while !j < n && ok src.[!j] do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      (match word with
+      | "and" -> push And
+      | "or" -> push Or
+      | _ -> push (Ident word));
+      i := !j
+    end
+    else fail "unexpected character %c" c
+  done;
+  push Eof;
+  Array.of_list (List.rev !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st t what =
+  if peek st = t then advance st else fail "expected %s" what
+
+let ident st =
+  match peek st with
+  | Ident s -> advance st; s
+  | _ -> fail "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Affine expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [vars] maps a dimension name to its positional index; identifiers not
+   in [vars] must appear in [params]. *)
+let rec parse_expr st ~vars ~params =
+  let lhs = parse_term st ~vars ~params in
+  parse_expr_rest st ~vars ~params lhs
+
+and parse_expr_rest st ~vars ~params lhs =
+  match peek st with
+  | Plus ->
+      advance st;
+      let rhs = parse_term st ~vars ~params in
+      parse_expr_rest st ~vars ~params (Aff.add lhs rhs)
+  | Minus ->
+      advance st;
+      let rhs = parse_term st ~vars ~params in
+      parse_expr_rest st ~vars ~params (Aff.sub lhs rhs)
+  | _ -> lhs
+
+and parse_term st ~vars ~params =
+  match peek st with
+  | Minus ->
+      advance st;
+      Aff.neg (parse_term st ~vars ~params)
+  | Int k -> (
+      advance st;
+      match peek st with
+      | Star ->
+          advance st;
+          Aff.scale k (parse_atom st ~vars ~params)
+      | Ident _ | Lparen -> Aff.scale k (parse_atom st ~vars ~params)
+      | _ -> Aff.const k)
+  | Ident _ | Lparen -> (
+      let a = parse_atom st ~vars ~params in
+      match peek st with
+      | Star -> (
+          advance st;
+          match peek st with
+          | Int k -> advance st; Aff.scale k a
+          | _ -> fail "expected integer after *")
+      | _ -> a)
+  | _ -> fail "expected term"
+
+and parse_atom st ~vars ~params =
+  match peek st with
+  | Lparen ->
+      advance st;
+      let e = parse_expr st ~vars ~params in
+      expect st Rparen ")";
+      e
+  | Ident name -> (
+      advance st;
+      match List.assoc_opt name vars with
+      | Some idx -> Aff.dim idx
+      | None ->
+          if List.mem name params then Aff.param name
+          else fail "unknown identifier %s" name)
+  | _ -> fail "expected atom"
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type relop = Rle | Rlt | Rge | Rgt | Req
+
+(* A condition is a disjunction of conjunctions of (Aff, relop, Aff). *)
+let parse_chain st ~vars ~params =
+  let first = parse_expr st ~vars ~params in
+  let rec chain acc lhs =
+    let op =
+      match peek st with
+      | Le -> Some Rle
+      | Lt -> Some Rlt
+      | Ge -> Some Rge
+      | Gt -> Some Rgt
+      | Eq_tok -> Some Req
+      | _ -> None
+    in
+    match op with
+    | None -> acc
+    | Some op ->
+        advance st;
+        let rhs = parse_expr st ~vars ~params in
+        chain ((lhs, op, rhs) :: acc) rhs
+  in
+  match chain [] first with
+  | [] -> fail "expected comparison"
+  | rels -> List.rev rels
+
+let parse_conjunction st ~vars ~params =
+  let rec go acc =
+    let rels = parse_chain st ~vars ~params in
+    let acc = acc @ rels in
+    match peek st with
+    | And -> advance st; go acc
+    | _ -> acc
+  in
+  go []
+
+let parse_condition st ~vars ~params =
+  let rec go acc =
+    let conj = parse_conjunction st ~vars ~params in
+    let acc = acc @ [ conj ] in
+    match peek st with
+    | Or -> advance st; go acc
+    | _ -> acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Pieces                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A tuple entry is either a fresh dimension name, a reference to an
+   already-bound name (producing an equality, isl-style), or a general
+   affine expression (also producing an equality against a synthesized
+   dimension). [vars] accumulates bindings left to right so later entries
+   may reference earlier dimensions. Returns the tuple name, the
+   dimension names, extra equality constraints as (dim index, Aff.t)
+   pairs, and the extended bindings. *)
+let parse_tuple st ~start_index ~vars ~params =
+  let name = ident st in
+  expect st Lbrack "[";
+  let fresh = ref 0 in
+  let rec entries acc_names acc_eqs vars idx =
+    match peek st with
+    | Rbrack -> advance st; (List.rev acc_names, List.rev acc_eqs, vars)
+    | _ ->
+        let is_plain_new_name =
+          match (peek st, st.toks.(st.pos + 1)) with
+          | Ident d, (Comma | Rbrack) ->
+              not (List.mem_assoc d vars) && not (List.mem d params)
+          | _ -> false
+        in
+        let dim_name, acc_eqs, vars =
+          if is_plain_new_name then begin
+            let d = ident st in
+            (d, acc_eqs, (d, idx) :: vars)
+          end
+          else begin
+            let e = parse_expr st ~vars ~params in
+            incr fresh;
+            let d = Printf.sprintf "_%s%d" name !fresh in
+            (d, (idx, e) :: acc_eqs, (d, idx) :: vars)
+          end
+        in
+        (match peek st with
+        | Comma -> advance st
+        | Rbrack -> ()
+        | _ -> fail "expected , or ] in tuple");
+        entries (dim_name :: acc_names) acc_eqs vars (idx + 1)
+  in
+  let names, eqs, vars = entries [] [] vars start_index in
+  (name, names, eqs, vars)
+
+let rel_to_cstrs ~lower (lhs : Aff.t) op (rhs : Aff.t) =
+  (* lower turns an Aff into (row, cst) *)
+  let mk kind a b shift =
+    (* a - b + shift (kind) 0 *)
+    let row_a, cst_a = lower a and row_b, cst_b = lower b in
+    let coef = Vec.sub row_a row_b in
+    { Cstr.kind; coef; cst = cst_a - cst_b + shift }
+  in
+  match op with
+  | Rle -> [ mk Cstr.Ge rhs lhs 0 ]
+  | Rlt -> [ mk Cstr.Ge rhs lhs (-1) ]
+  | Rge -> [ mk Cstr.Ge lhs rhs 0 ]
+  | Rgt -> [ mk Cstr.Ge lhs rhs (-1) ]
+  | Req -> [ mk Cstr.Eq lhs rhs 0 ]
+
+type piece =
+  | Set_piece of Bset.t list
+  | Map_piece of Bmap.t list
+
+let parse_piece st ~params =
+  let in_tuple, in_dims, in_eqs, vars =
+    parse_tuple st ~start_index:0 ~vars:[] ~params
+  in
+  let is_map = peek st = Arrow in
+  let out_info =
+    if is_map then begin
+      advance st;
+      let out_tuple, out_dims, out_eqs, vars =
+        parse_tuple st ~start_index:(List.length in_dims) ~vars ~params
+      in
+      Some (out_tuple, out_dims, out_eqs, vars)
+    end
+    else None
+  in
+  let vars = match out_info with Some (_, _, _, v) -> v | None -> vars in
+  let tuple_eqs =
+    in_eqs @ (match out_info with Some (_, _, e, _) -> e | None -> [])
+  in
+  let disjuncts =
+    if peek st = Colon then (advance st; parse_condition st ~vars ~params)
+    else [ [] ]
+  in
+  let np = List.length params in
+  let ni = List.length in_dims in
+  let no = match out_info with Some (_, d, _, _) -> List.length d | None -> 0 in
+  let w = np + ni + no in
+  let param_index p =
+    match List.find_index (( = ) p) params with
+    | Some i -> i
+    | None -> fail "unknown parameter %s" p
+  in
+  let lower a =
+    Aff.to_coef_row ~n_params:np ~param_index ~n_dims:(ni + no) ~dim_offset:np
+      ~width:w a
+  in
+  let eq_cstrs =
+    List.map
+      (fun (idx, e) ->
+        let row, cst = lower (Aff.sub (Aff.dim idx) e) in
+        Cstr.eq row cst)
+      tuple_eqs
+  in
+  let conj_cstrs conj =
+    eq_cstrs
+    @ List.concat_map (fun (l, op, r) -> rel_to_cstrs ~lower l op r) conj
+  in
+  match out_info with
+  | Some (out_tuple, out_dims, _, _) ->
+      let mspace = Space.map_space ~params in_tuple in_dims out_tuple out_dims in
+      Map_piece (List.map (fun conj -> Bmap.make mspace (conj_cstrs conj)) disjuncts)
+  | None ->
+      let sspace = Space.set_space ~params in_tuple in_dims in
+      Set_piece (List.map (fun conj -> Bset.make sspace (conj_cstrs conj)) disjuncts)
+
+let parse_params st =
+  if peek st = Lbrack then begin
+    advance st;
+    let rec go acc =
+      match peek st with
+      | Rbrack -> advance st; List.rev acc
+      | Ident p ->
+          advance st;
+          (match peek st with
+          | Comma -> advance st
+          | Rbrack -> ()
+          | _ -> fail "expected , or ] in parameters");
+          go (p :: acc)
+      | _ -> fail "expected parameter name"
+    in
+    let ps = go [] in
+    expect st Arrow "->";
+    ps
+  end
+  else []
+
+let parse_input src =
+  let st = { toks = tokenize src; pos = 0 } in
+  let params = parse_params st in
+  expect st Lbrace "{";
+  let rec pieces acc =
+    match peek st with
+    | Rbrace -> advance st; List.rev acc
+    | _ ->
+        let p = parse_piece st ~params in
+        (match peek st with
+        | Semi -> advance st
+        | Rbrace -> ()
+        | _ -> fail "expected ; or }");
+        pieces (p :: acc)
+  in
+  let ps = pieces [] in
+  expect st Eof "end of input";
+  ps
+
+let set src =
+  let pieces = parse_input src in
+  Iset.of_bsets
+    (List.concat_map
+       (function
+         | Set_piece bs -> bs
+         | Map_piece _ -> fail "expected a set, found a map")
+       pieces)
+
+let map src =
+  let pieces = parse_input src in
+  Imap.of_bmaps
+    (List.concat_map
+       (function
+         | Map_piece ms -> ms
+         | Set_piece _ -> fail "expected a map, found a set")
+       pieces)
+
+let bset src =
+  match Iset.pieces (set src) with
+  | [ b ] -> b
+  | _ -> fail "expected exactly one basic set"
+
+let bmap src =
+  match Imap.pieces (map src) with
+  | [ m ] -> m
+  | _ -> fail "expected exactly one basic map"

@@ -1,0 +1,22 @@
+(** Parser for an isl-like textual notation, used by tests and examples.
+
+    Examples:
+    - ["[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }"]
+    - ["{ S[h, w] -> A[h + 1, 2 w - 1] : w >= 0 }"]
+    - ["{ A[i] : 0 <= i < 4 or i = 10; B[j] : j = 0 }"]
+
+    Chained comparisons ([0 <= i < N]) are supported, as are [and]/[or]
+    (with [or] splitting a piece into several basic pieces). Parameters
+    may be declared in the leading [[...] ->] clause; undeclared
+    identifiers on the right-hand side of constraints are rejected. *)
+
+exception Parse_error of string
+
+val set : string -> Iset.t
+
+val map : string -> Imap.t
+
+val bset : string -> Bset.t
+(** The input must denote exactly one basic piece. *)
+
+val bmap : string -> Bmap.t

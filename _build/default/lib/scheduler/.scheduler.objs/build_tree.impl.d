@@ -1,0 +1,1 @@
+lib/scheduler/build_tree.ml: Aff Array Bmap Bset Fusion Imap Iset List Presburger Printf Prog Schedule_tree Space

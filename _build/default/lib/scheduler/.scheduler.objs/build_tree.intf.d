@@ -1,0 +1,1 @@
+lib/scheduler/build_tree.mli: Fusion Iset Presburger Prog Schedule_tree

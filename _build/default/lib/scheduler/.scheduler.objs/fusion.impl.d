@@ -1,0 +1,1 @@
+lib/scheduler/fusion.ml: Array Bset Deps Hashtbl Imap List Presburger Prog

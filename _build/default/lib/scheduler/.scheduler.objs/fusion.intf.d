@@ -1,0 +1,1 @@
+lib/scheduler/fusion.mli: Deps Prog

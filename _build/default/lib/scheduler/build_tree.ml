@@ -1,0 +1,106 @@
+open Presburger
+
+let band_name g = Printf.sprintf "b%d" g
+
+let stmt_filter (p : Prog.t) stmts =
+  Iset.of_bsets
+    (List.map (fun s -> (Prog.find_stmt p s).Prog.domain) stmts)
+
+(* Piece of a group band for one statement: dims -> band dims with the
+   group's shifts, restricted to the statement's domain. *)
+let band_piece (p : Prog.t) (g : Fusion.group) ~name stmt_name =
+  let stmt = Prog.find_stmt p stmt_name in
+  let shift = List.assoc stmt_name g.Fusion.shifts in
+  let dims = (Bset.space stmt.Prog.domain).Space.dims in
+  let outs =
+    List.init g.Fusion.band_dims (fun d ->
+        (Printf.sprintf "t%d" d, Aff.add_const (Aff.dim d) shift.(d)))
+  in
+  let m =
+    Bmap.from_affs ~in_tuple:stmt_name
+      ~in_dims:(Array.to_list dims)
+      ~out_tuple:name outs
+  in
+  Bmap.intersect_domain m stmt.Prog.domain
+
+let group_band (p : Prog.t) (g : Fusion.group) ~name =
+  let pieces = List.map (band_piece p g ~name) g.Fusion.stmts in
+  Schedule_tree.mk_band
+    ~partial:(Imap.of_bmaps pieces)
+    ~permutable:g.Fusion.permutable
+    ~coincident:(Array.copy g.Fusion.coincident)
+
+(* Inner band of one statement: identity schedule on the dimensions that
+   lie below the group band. Coincidence reflects the statement's own
+   reduction dimensions. *)
+let inner_of_stmt (p : Prog.t) (g : Fusion.group) stmt_name =
+  let stmt = Prog.find_stmt p stmt_name in
+  let nd = Bset.n_dims stmt.Prog.domain in
+  let bd = g.Fusion.band_dims in
+  if nd <= bd then Schedule_tree.Leaf
+  else begin
+    let dims = (Bset.space stmt.Prog.domain).Space.dims in
+    let outs =
+      List.init (nd - bd) (fun i -> (dims.(bd + i) ^ "p", Aff.dim (bd + i)))
+    in
+    let m =
+      Bmap.from_affs ~in_tuple:stmt_name
+        ~in_dims:(Array.to_list dims)
+        ~out_tuple:(stmt_name ^ "_inner") outs
+    in
+    let m = Bmap.intersect_domain m stmt.Prog.domain in
+    let coincident =
+      Array.init (nd - bd) (fun i -> bd + i < nd - stmt.Prog.reduction_dims)
+    in
+    let band =
+      Schedule_tree.mk_band ~partial:(Imap.of_bmap m) ~permutable:true ~coincident
+    in
+    Schedule_tree.Band (band, Schedule_tree.Leaf)
+  end
+
+let group_subtree ?only (p : Prog.t) (g : Fusion.group) ~name =
+  let stmts =
+    match only with
+    | None -> g.Fusion.stmts
+    | Some subset -> List.filter (fun s -> List.mem s subset) g.Fusion.stmts
+  in
+  let inner =
+    match stmts with
+    | [ s ] -> inner_of_stmt p g s
+    | _ ->
+        Schedule_tree.Sequence
+          (List.map
+             (fun s ->
+               Schedule_tree.Filter (stmt_filter p [ s ], inner_of_stmt p g s))
+             stmts)
+  in
+  let band =
+    let full = group_band p g ~name in
+    match only with
+    | None -> full
+    | Some subset ->
+        { full with
+          Schedule_tree.partial =
+            Presburger.Imap.of_bmaps
+              (List.filter
+                 (fun piece ->
+                   List.mem (Presburger.Bmap.space piece).Presburger.Space.in_tuple
+                     subset)
+                 (Presburger.Imap.pieces full.Schedule_tree.partial))
+        }
+  in
+  let body =
+    if g.Fusion.band_dims = 0 then inner else Schedule_tree.Band (band, inner)
+  in
+  Schedule_tree.Filter (stmt_filter p stmts, body)
+
+let initial_tree (p : Prog.t) (r : Fusion.result) =
+  let domain = stmt_filter p (List.map (fun s -> s.Prog.stmt_name) p.Prog.stmts) in
+  let children =
+    List.mapi
+      (fun i g -> group_subtree p g ~name:(band_name i))
+      r.Fusion.groups
+  in
+  match children with
+  | [ single ] -> Schedule_tree.Domain (domain, single)
+  | _ -> Schedule_tree.Domain (domain, Schedule_tree.Sequence children)

@@ -1,0 +1,27 @@
+(** Construction of schedule trees from fusion results (the tree a
+    conventional tiling-after-fusion flow would start from, e.g.
+    Fig. 2(b) of the paper). *)
+
+open Presburger
+
+val band_name : int -> string
+(** Canonical outer-band tuple name of group [g] ("b<g>"). *)
+
+val group_band : Prog.t -> Fusion.group -> name:string -> Schedule_tree.band
+(** The shared outer band of a fusion group: one piece per statement,
+    [out_d = dim_d + shift_d] restricted to the statement domain. *)
+
+val inner_of_stmt : Prog.t -> Fusion.group -> string -> Schedule_tree.t
+(** The subtree scheduling the dimensions of one statement that lie
+    below the group band (an inner band, or a leaf). *)
+
+val group_subtree :
+  ?only:string list -> Prog.t -> Fusion.group -> name:string -> Schedule_tree.t
+(** Filter -> band -> inner structure for one fusion group; [only]
+    restricts to a subset of the group's statements (used when a space
+    is only partially fused). *)
+
+val initial_tree : Prog.t -> Fusion.result -> Schedule_tree.t
+(** Domain -> sequence of group subtrees. *)
+
+val stmt_filter : Prog.t -> string list -> Iset.t

@@ -1,0 +1,1 @@
+lib/workloads/competitors.ml: Array Bmap Core Cstr Fusion Imap List Presburger Prog Space String Vec

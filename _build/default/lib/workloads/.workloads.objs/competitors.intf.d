@@ -1,0 +1,1 @@
+lib/workloads/competitors.mli: Core Prog

@@ -1,0 +1,1 @@
+lib/workloads/jacobi.mli: Prog

@@ -1,0 +1,1 @@
+lib/workloads/pipe.ml: Aff List Presburger Printf Prog Wl

@@ -1,0 +1,1 @@
+lib/workloads/pipe.mli: Aff Presburger Prog

@@ -1,0 +1,1 @@
+lib/workloads/polymage.ml: Array Float List Pipe Printf String Wl

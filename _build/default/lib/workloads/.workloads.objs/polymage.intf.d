@@ -1,0 +1,1 @@
+lib/workloads/polymage.mli: Prog

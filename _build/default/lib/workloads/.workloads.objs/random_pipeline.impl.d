@@ -1,0 +1,1 @@
+lib/workloads/random_pipeline.ml: Array List Pipe Presburger Printf Prog String Wl

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Conv2d Equake Jacobi List Polybench Polymage Printf Prog Resnet String

@@ -1,0 +1,1 @@
+lib/workloads/resnet.ml: Array Float List Npu_model Pipe Printf Prog String Wl

@@ -1,0 +1,1 @@
+lib/workloads/resnet.mli: Npu_model Prog

@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Aff Array Bset Cstr List Presburger Printf Prog Space

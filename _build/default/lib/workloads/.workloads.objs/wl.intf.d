@@ -1,0 +1,1 @@
+lib/workloads/wl.mli: Aff Bset Presburger Prog

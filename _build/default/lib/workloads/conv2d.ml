@@ -1,0 +1,66 @@
+open Wl
+
+let build ?(h = 6) ?(w = 6) ?(kh = 3) ?(kw = 3) () =
+  let params = [ "H"; "W"; "KH"; "KW" ] in
+  let hp = prm "H" and wp = prm "W" and khp = prm "KH" and kwp = prm "KW" in
+  let one = cst 1 in
+  (* S0: A[h][w] = Quant(A[h][w]) *)
+  let s0_dims = [ "h"; "w" ] in
+  let s0 =
+    Prog.mk_stmt ~name:"S0"
+      ~domain:(box ~params "S0" [ ("h", cst 0, hp -$ one); ("w", cst 0, wp -$ one) ])
+      ~write:(access ~params ~stmt:"S0" ~dims:s0_dims "A" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[ access ~params ~stmt:"S0" ~dims:s0_dims "A" [ idx (dim 0); idx (dim 1) ] ]
+      ~compute:(fun v -> Float.max 0.0 (Float.min 255.0 (Float.round v.(0))))
+      ~ops:2 ()
+  in
+  (* S1: C[h][w] = 0 *)
+  let s1_dims = [ "h"; "w" ] in
+  let conv_box name =
+    box ~params name
+      [ ("h", cst 0, hp -$ khp); ("w", cst 0, wp -$ kwp) ]
+  in
+  let s1 =
+    Prog.mk_stmt ~nest:"conv" ~name:"S1" ~domain:(conv_box "S1")
+      ~write:(access ~params ~stmt:"S1" ~dims:s1_dims "C" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  (* S2: C[h][w] += A[h+kh][w+kw] * B[kh][kw] *)
+  let s2_dims = [ "h"; "w"; "kh"; "kw" ] in
+  let s2 =
+    Prog.mk_stmt ~nest:"conv" ~name:"S2" ~reduction_dims:2
+      ~domain:
+        (box ~params "S2"
+           [ ("h", cst 0, hp -$ khp);
+             ("w", cst 0, wp -$ kwp);
+             ("kh", cst 0, khp -$ one);
+             ("kw", cst 0, kwp -$ one)
+           ])
+      ~write:(access ~params ~stmt:"S2" ~dims:s2_dims "C" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ access ~params ~stmt:"S2" ~dims:s2_dims "C" [ idx (dim 0); idx (dim 1) ];
+          access ~params ~stmt:"S2" ~dims:s2_dims "A"
+            [ idx (dim 0 +$ dim 2); idx (dim 1 +$ dim 3) ];
+          access ~params ~stmt:"S2" ~dims:s2_dims "B" [ idx (dim 2); idx (dim 3) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (v.(1) *. v.(2)))
+      ~ops:2 ()
+  in
+  (* S3: C[h][w] = ReLU(C[h][w]) *)
+  let s3 =
+    Prog.mk_stmt ~name:"S3" ~domain:(conv_box "S3")
+      ~write:(access ~params ~stmt:"S3" ~dims:s1_dims "C" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[ access ~params ~stmt:"S3" ~dims:s1_dims "C" [ idx (dim 0); idx (dim 1) ] ]
+      ~compute:(fun v -> Float.max 0.0 v.(0))
+      ~ops:1 ()
+  in
+  Prog.make ~name:"conv2d"
+    ~params:[ ("H", h); ("W", w); ("KH", kh); ("KW", kw) ]
+    ~arrays:
+      [ arr "A" [ prm "H"; prm "W" ];
+        arr "B" [ prm "KH"; prm "KW" ];
+        arr "C" [ prm "H" -$ prm "KH" +$ cst 1; prm "W" -$ prm "KW" +$ cst 1 ]
+      ]
+    ~stmts:[ s0; s1; s2; s3 ] ~live_out:[ "C" ]

@@ -1,0 +1,15 @@
+(** The paper's running example (Fig. 1): quantization, 2D convolution
+    (initialization + reduction) and ReLU over an input image.
+
+    {[
+      S0:  A[h][w]  = Quant(A[h][w])            0<=h<H, 0<=w<W
+      S1:  C[h][w]  = 0                          0<=h<=H-KH, 0<=w<=W-KW
+      S2:  C[h][w] += A[h+kh][w+kw] * B[kh][kw]  0<=kh<KH, 0<=kw<KW
+      S3:  C[h][w]  = ReLU(C[h][w])
+    ]}
+
+    [C] is live-out; [A] is the intermediate tensor the paper allocates
+    on scratchpads after post-tiling fusion. *)
+
+val build : ?h:int -> ?w:int -> ?kh:int -> ?kw:int -> unit -> Prog.t
+(** Defaults: H = W = 6, KH = KW = 3 (the worked example of Section III). *)

@@ -1,0 +1,105 @@
+open Wl
+
+type size = Test | Train | Ref
+
+let size_nodes = function Test -> 4096 | Train -> 8192 | Ref -> 16384
+
+let maxnz = 16
+
+let rowlen i = 4 + (i mod (maxnz - 4))
+
+let build_gen ~split ?(size = Test) () =
+  let n = size_nodes size in
+  let params = [ "N"; "MAXNZ" ] in
+  let np = prm "N" and nzp = prm "MAXNZ" in
+  let one = cst 1 in
+  let dom name bounds = box ~params name bounds in
+  let acc stmt dims a idxs = access ~params ~stmt ~dims a idxs in
+  let nest_of component = if split then component else "spmv" in
+  let rinit =
+    Prog.mk_stmt ~nest:(nest_of "rinit") ~name:"rinit"
+      ~domain:(dom "rinit" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "rinit" [ "i" ] "R" [ idx (dim 0) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  (* the while loop: affine superset j < MAXNZ, dynamic bound rowlen i *)
+  let rupd =
+    Prog.mk_stmt ~nest:(nest_of "rupd") ~name:"rupd" ~reduction_dims:1
+      ~guard:(fun inst -> inst.(1) < rowlen inst.(0))
+      ~domain:(dom "rupd" [ ("i", cst 0, np -$ one); ("j", cst 0, nzp -$ one) ])
+      ~write:(acc "rupd" [ "i"; "j" ] "R" [ idx (dim 0) ])
+      ~reads:
+        [ acc "rupd" [ "i"; "j" ] "R" [ idx (dim 0) ];
+          acc "rupd" [ "i"; "j" ] "K" [ idx (dim 0); idx (dim 1) ];
+          acc "rupd" [ "i"; "j" ] "V" [ idx (dim 0 +$ dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (v.(1) *. v.(2)))
+      ~ops:2 ()
+  in
+  let gather =
+    Prog.mk_stmt ~nest:(nest_of "gather") ~name:"gather"
+      ~domain:(dom "gather" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "gather" [ "i" ] "SM" [ idx (dim 0) ])
+      ~reads:
+        [ acc "gather" [ "i" ] "R" [ idx (dim 0) ];
+          acc "gather" [ "i" ] "M" [ idx (dim 0) ]
+        ]
+      ~compute:(fun v -> v.(0) /. (v.(1) +. 1.0))
+      ~ops:2 ()
+  in
+  (* follow-up affine nests on the mesh state *)
+  let disp =
+    Prog.mk_stmt ~name:"disp"
+      ~domain:(dom "disp" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "disp" [ "i" ] "DISP" [ idx (dim 0) ])
+      ~reads:
+        [ acc "disp" [ "i" ] "SM" [ idx (dim 0) ];
+          acc "disp" [ "i" ] "C" [ idx (dim 0) ]
+        ]
+      ~compute:(fun v -> (2.0 *. v.(0)) -. v.(1))
+      ~ops:2 ()
+  in
+  let vel =
+    Prog.mk_stmt ~name:"vel"
+      ~domain:(dom "vel" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "vel" [ "i" ] "VEL" [ idx (dim 0) ])
+      ~reads:
+        [ acc "vel" [ "i" ] "VEL" [ idx (dim 0) ];
+          acc "vel" [ "i" ] "DISP" [ idx (dim 0) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (0.01 *. v.(1)))
+      ~ops:2 ()
+  in
+  let pos =
+    Prog.mk_stmt ~name:"pos"
+      ~domain:(dom "pos" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "pos" [ "i" ] "POS" [ idx (dim 0) ])
+      ~reads:
+        [ acc "pos" [ "i" ] "POS" [ idx (dim 0) ];
+          acc "pos" [ "i" ] "VEL" [ idx (dim 0) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (0.01 *. v.(1)))
+      ~ops:2 ()
+  in
+  Prog.make
+    ~name:(if split then "equake_permuted" else "equake")
+    ~params:[ ("N", n); ("MAXNZ", maxnz) ]
+    ~arrays:
+      [ arr "K" [ np; nzp ];
+        arr "V" [ np +$ nzp ];
+        arr "R" [ np ];
+        arr "M" [ np ];
+        arr "SM" [ np ];
+        arr "C" [ np ];
+        arr "DISP" [ np ];
+        arr "VEL" [ np ];
+        arr "POS" [ np ]
+      ]
+    ~stmts:[ rinit; rupd; gather; disp; vel; pos ]
+    ~live_out:[ "POS" ]
+
+let build ?size () = build_gen ~split:false ?size ()
+
+let build_permuted ?size () = build_gen ~split:true ?size ()

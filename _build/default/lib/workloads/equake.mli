@@ -1,0 +1,21 @@
+(** The SPEC CPU2000 equake kernel (finite element method): a sparse
+    matrix-vector product over an unstructured mesh with a
+    dynamic-counted inner loop, followed by a gathering statement and a
+    chain of affine element-wise nests updating the mesh state.
+
+    The paper's proprietary mesh is substituted by a synthetic banded
+    sparse matrix: row [i] has [rowlen i <= MAXNZ] nonzeros at columns
+    [i..i+rowlen i - 1] (a dynamic guard models the while loop; the
+    affine superset [0 <= j < MAXNZ] is what the polyhedral analysis
+    sees, exactly PPCG's dynamic-counted-loop treatment). *)
+
+type size = Test | Train | Ref
+
+val size_nodes : size -> int
+
+val build : ?size:size -> unit -> Prog.t
+
+val build_permuted : ?size:size -> unit -> Prog.t
+(** The manually preprocessed variant the paper feeds to PPCG's
+    heuristics: the SpMV components are separate nests, so the baseline
+    heuristics can explore fusion around the dynamic loop. *)

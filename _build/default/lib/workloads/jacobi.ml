@@ -1,0 +1,22 @@
+open Wl
+
+let build ?(n = 256) ?(steps = 4) () =
+  let t = Pipe.create "jacobi_unrolled" ~params:[ ("N", n) ] in
+  let np = prm "N" in
+  Pipe.input t "U0" [ np ];
+  for k = 1 to steps do
+    (* each step shrinks the valid region by one on each side; domains
+       are kept left-aligned (reads at offsets 0,1,2) *)
+    Pipe.stage t
+      ~name:(Printf.sprintf "step%d" k)
+      ~out:(Printf.sprintf "U%d" k)
+      ~extents:[ np -$ cst (2 * k) ]
+      ~reads:
+        (List.map
+           (fun o -> (Printf.sprintf "U%d" (k - 1), [ idx (dim 0 +$ cst o) ]))
+           [ 0; 1; 2 ])
+      ~ops:3
+      ~compute:(fun v -> (v.(0) +. v.(1) +. v.(2)) /. 3.0)
+      ()
+  done;
+  Pipe.finish t ~live_out:[ Printf.sprintf "U%d" steps ]

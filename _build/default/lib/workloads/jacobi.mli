@@ -1,0 +1,11 @@
+(** Time-unrolled Jacobi stencil (Section IV-D of the paper).
+
+    Post-tiling fusion requires producer-consumer relations *across*
+    loop nests, so a single time-iterated stencil nest is out of scope —
+    but unrolling the time dimension turns each time step into its own
+    nest with exactly such relations, and the flow then fuses the steps
+    with overlapped tiles (tile-wise concurrent start). *)
+
+val build : ?n:int -> ?steps:int -> unit -> Prog.t
+(** [steps] unrolled 1D Jacobi-3 sweeps over an [n]-point line; the
+    final step's array is live-out. *)

@@ -1,0 +1,250 @@
+open Wl
+
+(* ------------------------------------------------------------------ *)
+(* 2mm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mm2 ?(ni = 64) ?(nj = 64) ?(nk = 64) ?(nl = 64) () =
+  let params = [ "NI"; "NJ"; "NK"; "NL" ] in
+  let nip = prm "NI" and njp = prm "NJ" and nkp = prm "NK" and nlp = prm "NL" in
+  let one = cst 1 in
+  let dom name bounds = box ~params name bounds in
+  let acc stmt dims a idxs = access ~params ~stmt ~dims a idxs in
+  let tinit =
+    Prog.mk_stmt ~nest:"tmp" ~name:"tinit"
+      ~domain:(dom "tinit" [ ("i", cst 0, nip -$ one); ("j", cst 0, njp -$ one) ])
+      ~write:(acc "tinit" [ "i"; "j" ] "TMP" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  let tupd =
+    Prog.mk_stmt ~nest:"tmp" ~name:"tupd" ~reduction_dims:1
+      ~domain:
+        (dom "tupd"
+           [ ("i", cst 0, nip -$ one);
+             ("j", cst 0, njp -$ one);
+             ("k", cst 0, nkp -$ one)
+           ])
+      ~write:(acc "tupd" [ "i"; "j"; "k" ] "TMP" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ acc "tupd" [ "i"; "j"; "k" ] "TMP" [ idx (dim 0); idx (dim 1) ];
+          acc "tupd" [ "i"; "j"; "k" ] "A" [ idx (dim 0); idx (dim 2) ];
+          acc "tupd" [ "i"; "j"; "k" ] "B" [ idx (dim 2); idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (1.5 *. v.(1) *. v.(2)))
+      ~ops:3 ()
+  in
+  let dscale =
+    Prog.mk_stmt ~nest:"d" ~name:"dscale"
+      ~domain:(dom "dscale" [ ("i", cst 0, nip -$ one); ("j", cst 0, nlp -$ one) ])
+      ~write:(acc "dscale" [ "i"; "j" ] "D" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[ acc "dscale" [ "i"; "j" ] "D" [ idx (dim 0); idx (dim 1) ] ]
+      ~compute:(fun v -> 1.2 *. v.(0))
+      ~ops:1 ()
+  in
+  let dupd =
+    Prog.mk_stmt ~nest:"d" ~name:"dupd" ~reduction_dims:1
+      ~domain:
+        (dom "dupd"
+           [ ("i", cst 0, nip -$ one);
+             ("j", cst 0, nlp -$ one);
+             ("k", cst 0, njp -$ one)
+           ])
+      ~write:(acc "dupd" [ "i"; "j"; "k" ] "D" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ acc "dupd" [ "i"; "j"; "k" ] "D" [ idx (dim 0); idx (dim 1) ];
+          acc "dupd" [ "i"; "j"; "k" ] "TMP" [ idx (dim 0); idx (dim 2) ];
+          acc "dupd" [ "i"; "j"; "k" ] "C" [ idx (dim 2); idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (v.(1) *. v.(2)))
+      ~ops:2 ()
+  in
+  Prog.make ~name:"2mm"
+    ~params:[ ("NI", ni); ("NJ", nj); ("NK", nk); ("NL", nl) ]
+    ~arrays:
+      [ arr "A" [ nip; nkp ];
+        arr "B" [ nkp; njp ];
+        arr "C" [ njp; nlp ];
+        arr "TMP" [ nip; njp ];
+        arr "D" [ nip; nlp ]
+      ]
+    ~stmts:[ tinit; tupd; dscale; dupd ] ~live_out:[ "D" ]
+
+(* ------------------------------------------------------------------ *)
+(* gemver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gemver ?(n = 256) () =
+  let params = [ "N" ] in
+  let np = prm "N" in
+  let one = cst 1 in
+  let dom name bounds = box ~params name bounds in
+  let acc stmt dims a idxs = access ~params ~stmt ~dims a idxs in
+  let s1 =
+    Prog.mk_stmt ~name:"ahat"
+      ~domain:(dom "ahat" [ ("i", cst 0, np -$ one); ("j", cst 0, np -$ one) ])
+      ~write:(acc "ahat" [ "i"; "j" ] "AH" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ acc "ahat" [ "i"; "j" ] "A" [ idx (dim 0); idx (dim 1) ];
+          acc "ahat" [ "i"; "j" ] "U1" [ idx (dim 0) ];
+          acc "ahat" [ "i"; "j" ] "V1" [ idx (dim 1) ];
+          acc "ahat" [ "i"; "j" ] "U2" [ idx (dim 0) ];
+          acc "ahat" [ "i"; "j" ] "V2" [ idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (v.(1) *. v.(2)) +. (v.(3) *. v.(4)))
+      ~ops:4 ()
+  in
+  let xinit =
+    Prog.mk_stmt ~nest:"x" ~name:"xinit"
+      ~domain:(dom "xinit" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "xinit" [ "i" ] "X" [ idx (dim 0) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  let xupd =
+    Prog.mk_stmt ~nest:"x" ~name:"xupd" ~reduction_dims:1
+      ~domain:(dom "xupd" [ ("i", cst 0, np -$ one); ("j", cst 0, np -$ one) ])
+      ~write:(acc "xupd" [ "i"; "j" ] "X" [ idx (dim 0) ])
+      ~reads:
+        [ acc "xupd" [ "i"; "j" ] "X" [ idx (dim 0) ];
+          acc "xupd" [ "i"; "j" ] "AH" [ idx (dim 1); idx (dim 0) ];
+          acc "xupd" [ "i"; "j" ] "Y" [ idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (1.1 *. v.(1) *. v.(2)))
+      ~ops:3 ()
+  in
+  let xadd =
+    Prog.mk_stmt ~name:"xadd"
+      ~domain:(dom "xadd" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "xadd" [ "i" ] "X" [ idx (dim 0) ])
+      ~reads:
+        [ acc "xadd" [ "i" ] "X" [ idx (dim 0) ];
+          acc "xadd" [ "i" ] "Z" [ idx (dim 0) ]
+        ]
+      ~compute:(fun v -> v.(0) +. v.(1))
+      ~ops:1 ()
+  in
+  let winit =
+    Prog.mk_stmt ~nest:"w" ~name:"winit"
+      ~domain:(dom "winit" [ ("i", cst 0, np -$ one) ])
+      ~write:(acc "winit" [ "i" ] "W" [ idx (dim 0) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  let wupd =
+    Prog.mk_stmt ~nest:"w" ~name:"wupd" ~reduction_dims:1
+      ~domain:(dom "wupd" [ ("i", cst 0, np -$ one); ("j", cst 0, np -$ one) ])
+      ~write:(acc "wupd" [ "i"; "j" ] "W" [ idx (dim 0) ])
+      ~reads:
+        [ acc "wupd" [ "i"; "j" ] "W" [ idx (dim 0) ];
+          acc "wupd" [ "i"; "j" ] "AH" [ idx (dim 0); idx (dim 1) ];
+          acc "wupd" [ "i"; "j" ] "X" [ idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (1.3 *. v.(1) *. v.(2)))
+      ~ops:3 ()
+  in
+  Prog.make ~name:"gemver" ~params:[ ("N", n) ]
+    ~arrays:
+      [ arr "A" [ np; np ];
+        arr "AH" [ np; np ];
+        arr "U1" [ np ];
+        arr "V1" [ np ];
+        arr "U2" [ np ];
+        arr "V2" [ np ];
+        arr "X" [ np ];
+        arr "Y" [ np ];
+        arr "Z" [ np ];
+        arr "W" [ np ]
+      ]
+    ~stmts:[ s1; xinit; xupd; xadd; winit; wupd ]
+    ~live_out:[ "W" ]
+
+(* ------------------------------------------------------------------ *)
+(* covariance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let covariance ?(n = 128) ?(m = 64) () =
+  let params = [ "N"; "M" ] in
+  let np = prm "N" and mp = prm "M" in
+  let one = cst 1 in
+  let nf = float_of_int n in
+  let dom name bounds = box ~params name bounds in
+  let acc stmt dims a idxs = access ~params ~stmt ~dims a idxs in
+  let minit =
+    Prog.mk_stmt ~nest:"mean" ~name:"minit"
+      ~domain:(dom "minit" [ ("j", cst 0, mp -$ one) ])
+      ~write:(acc "minit" [ "j" ] "MEAN" [ idx (dim 0) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  let mupd =
+    Prog.mk_stmt ~nest:"mean" ~name:"mupd" ~reduction_dims:1
+      ~domain:(dom "mupd" [ ("j", cst 0, mp -$ one); ("i", cst 0, np -$ one) ])
+      ~write:(acc "mupd" [ "j"; "i" ] "MEAN" [ idx (dim 0) ])
+      ~reads:
+        [ acc "mupd" [ "j"; "i" ] "MEAN" [ idx (dim 0) ];
+          acc "mupd" [ "j"; "i" ] "DATA" [ idx (dim 1); idx (dim 0) ]
+        ]
+      ~compute:(fun v -> v.(0) +. v.(1))
+      ~ops:1 ()
+  in
+  let mdiv =
+    Prog.mk_stmt ~name:"mdiv"
+      ~domain:(dom "mdiv" [ ("j", cst 0, mp -$ one) ])
+      ~write:(acc "mdiv" [ "j" ] "MEAN" [ idx (dim 0) ])
+      ~reads:[ acc "mdiv" [ "j" ] "MEAN" [ idx (dim 0) ] ]
+      ~compute:(fun v -> v.(0) /. nf)
+      ~ops:1 ()
+  in
+  let center =
+    Prog.mk_stmt ~name:"center"
+      ~domain:(dom "center" [ ("i", cst 0, np -$ one); ("j", cst 0, mp -$ one) ])
+      ~write:(acc "center" [ "i"; "j" ] "DATA" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ acc "center" [ "i"; "j" ] "DATA" [ idx (dim 0); idx (dim 1) ];
+          acc "center" [ "i"; "j" ] "MEAN" [ idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) -. v.(1))
+      ~ops:1 ()
+  in
+  let cinit =
+    Prog.mk_stmt ~nest:"cov" ~name:"cinit"
+      ~domain:(dom "cinit" [ ("j", cst 0, mp -$ one); ("k", cst 0, mp -$ one) ])
+      ~write:(acc "cinit" [ "j"; "k" ] "COV" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[]
+      ~compute:(fun _ -> 0.0)
+      ~ops:1 ()
+  in
+  let cupd =
+    Prog.mk_stmt ~nest:"cov" ~name:"cupd" ~reduction_dims:1
+      ~domain:
+        (dom "cupd"
+           [ ("j", cst 0, mp -$ one);
+             ("k", cst 0, mp -$ one);
+             ("i", cst 0, np -$ one)
+           ])
+      ~write:(acc "cupd" [ "j"; "k"; "i" ] "COV" [ idx (dim 0); idx (dim 1) ])
+      ~reads:
+        [ acc "cupd" [ "j"; "k"; "i" ] "COV" [ idx (dim 0); idx (dim 1) ];
+          acc "cupd" [ "j"; "k"; "i" ] "DATA" [ idx (dim 2); idx (dim 0) ];
+          acc "cupd" [ "j"; "k"; "i" ] "DATA" [ idx (dim 2); idx (dim 1) ]
+        ]
+      ~compute:(fun v -> v.(0) +. (v.(1) *. v.(2)))
+      ~ops:2 ()
+  in
+  let cdiv =
+    Prog.mk_stmt ~name:"cdiv"
+      ~domain:(dom "cdiv" [ ("j", cst 0, mp -$ one); ("k", cst 0, mp -$ one) ])
+      ~write:(acc "cdiv" [ "j"; "k" ] "COV" [ idx (dim 0); idx (dim 1) ])
+      ~reads:[ acc "cdiv" [ "j"; "k" ] "COV" [ idx (dim 0); idx (dim 1) ] ]
+      ~compute:(fun v -> v.(0) /. (nf -. 1.0))
+      ~ops:1 ()
+  in
+  Prog.make ~name:"covariance" ~params:[ ("N", n); ("M", m) ]
+    ~arrays:[ arr "DATA" [ np; mp ]; arr "MEAN" [ mp ]; arr "COV" [ mp; mp ] ]
+    ~stmts:[ minit; mupd; mdiv; center; cinit; cupd; cdiv ]
+    ~live_out:[ "COV" ]

@@ -1,0 +1,10 @@
+(** The three PolyBench kernels of Table II. *)
+
+val mm2 : ?ni:int -> ?nj:int -> ?nk:int -> ?nl:int -> unit -> Prog.t
+(** 2mm: [TMP = alpha*A*B; D = TMP*C + beta*D]. *)
+
+val gemver : ?n:int -> unit -> Prog.t
+(** gemver: [Ah = A + u1 v1^T + u2 v2^T; x = beta Ah^T y + z; w = alpha Ah x]. *)
+
+val covariance : ?n:int -> ?m:int -> unit -> Prog.t
+(** covariance: column means, centering, covariance matrix. *)

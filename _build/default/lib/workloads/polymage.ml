@@ -1,0 +1,534 @@
+open Wl
+
+let avg n v =
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. x) v;
+  !s /. float_of_int n
+
+(* n-tap 1D stencil reads along dimension [along] *)
+let taps1d array ~along ~ndims ~n =
+  List.init n (fun k ->
+      ( array,
+        List.init ndims (fun d ->
+            if d = along then idx (dim d +$ cst k) else idx (dim d)) ))
+
+(* full 2D stencil reads (n x n) on dims 0,1 *)
+let taps2d array ~n =
+  List.concat_map
+    (fun kh ->
+      List.init n (fun kw ->
+          (array, [ idx (dim 0 +$ cst kh); idx (dim 1 +$ cst kw) ])))
+    (List.init n (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Unsharp Mask: 4 stages                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unsharp_mask ?(h = 256) ?(w = 256) () =
+  let t = Pipe.create "unsharp_mask" ~params:[ ("H", h); ("W", w) ] in
+  let hh = prm "H" and ww = prm "W" in
+  Pipe.input t "IMG" [ hh; ww ];
+  Pipe.stage t ~name:"blurx" ~out:"BX"
+    ~extents:[ hh; ww -$ cst 4 ]
+    ~reads:(taps1d "IMG" ~along:1 ~ndims:2 ~n:5)
+    ~ops:5 ~compute:(avg 5) ();
+  Pipe.stage t ~name:"blury" ~out:"BY"
+    ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+    ~reads:(taps1d "BX" ~along:0 ~ndims:2 ~n:5)
+    ~ops:5 ~compute:(avg 5) ();
+  Pipe.stage t ~name:"sharpen" ~out:"SH"
+    ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+    ~reads:
+      [ ("IMG", [ idx (dim 0 +$ cst 2); idx (dim 1 +$ cst 2) ]);
+        ("BY", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:3
+    ~compute:(fun v -> v.(0) +. (3.0 *. (v.(0) -. v.(1))))
+    ();
+  Pipe.stage t ~name:"mask" ~out:"MSK"
+    ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+    ~reads:
+      [ ("IMG", [ idx (dim 0 +$ cst 2); idx (dim 1 +$ cst 2) ]);
+        ("BY", [ idx (dim 0); idx (dim 1) ]);
+        ("SH", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:3
+    ~compute:(fun v -> if Float.abs (v.(0) -. v.(1)) < 0.5 then v.(0) else v.(2))
+    ();
+  Pipe.finish t ~live_out:[ "MSK" ]
+
+(* ------------------------------------------------------------------ *)
+(* Harris corner detection: 11 stages                                  *)
+(* ------------------------------------------------------------------ *)
+
+let harris ?(h = 256) ?(w = 256) () =
+  let t = Pipe.create "harris" ~params:[ ("H", h); ("W", w) ] in
+  let hh = prm "H" and ww = prm "W" in
+  Pipe.input t "R" [ hh; ww ];
+  Pipe.input t "G" [ hh; ww ];
+  Pipe.input t "B" [ hh; ww ];
+  Pipe.stage t ~name:"gray" ~out:"GRAY" ~extents:[ hh; ww ]
+    ~reads:
+      [ ("R", [ idx (dim 0); idx (dim 1) ]);
+        ("G", [ idx (dim 0); idx (dim 1) ]);
+        ("B", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:3
+    ~compute:(fun v -> (0.299 *. v.(0)) +. (0.587 *. v.(1)) +. (0.114 *. v.(2)))
+    ();
+  let sobel name signs =
+    (* 3x3 stencil with +/- row or column weights *)
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 2; ww -$ cst 2 ]
+      ~reads:(taps2d "GRAY" ~n:3) ~ops:9
+      ~compute:(fun v ->
+        let s = ref 0.0 in
+        List.iteri (fun i c -> s := !s +. (c *. v.(i))) signs;
+        !s /. 8.0)
+      ()
+  in
+  sobel "ix" [ -1.; 0.; 1.; -2.; 0.; 2.; -1.; 0.; 1. ];
+  sobel "iy" [ -1.; -2.; -1.; 0.; 0.; 0.; 1.; 2.; 1. ];
+  let prod name a b =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 2; ww -$ cst 2 ]
+      ~reads:[ (a, [ idx (dim 0); idx (dim 1) ]); (b, [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:1
+      ~compute:(fun v -> v.(0) *. v.(1))
+      ()
+  in
+  prod "ixx" "IX" "IX";
+  prod "ixy" "IX" "IY";
+  prod "iyy" "IY" "IY";
+  let sum33 name src =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+      ~reads:(taps2d src ~n:3) ~ops:9
+      ~compute:(fun v -> Array.fold_left ( +. ) 0.0 v)
+      ()
+  in
+  sum33 "sxx" "IXX";
+  sum33 "sxy" "IXY";
+  sum33 "syy" "IYY";
+  Pipe.stage t ~name:"det" ~out:"DET"
+    ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+    ~reads:
+      [ ("SXX", [ idx (dim 0); idx (dim 1) ]);
+        ("SYY", [ idx (dim 0); idx (dim 1) ]);
+        ("SXY", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:3
+    ~compute:(fun v -> (v.(0) *. v.(1)) -. (v.(2) *. v.(2)))
+    ();
+  Pipe.stage t ~name:"harris" ~out:"HARRIS"
+    ~extents:[ hh -$ cst 4; ww -$ cst 4 ]
+    ~reads:
+      [ ("DET", [ idx (dim 0); idx (dim 1) ]);
+        ("SXX", [ idx (dim 0); idx (dim 1) ]);
+        ("SYY", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:4
+    ~compute:(fun v ->
+      let tr = v.(1) +. v.(2) in
+      v.(0) -. (0.04 *. tr *. tr))
+    ();
+  Pipe.finish t ~live_out:[ "HARRIS" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bilateral grid: grid reduction + 3 blurs + slice                    *)
+(* ------------------------------------------------------------------ *)
+
+let bilateral_grid ?(h = 256) ?(w = 256) () =
+  (* grid cell 8x8, intensity bins Z = 8 *)
+  let gh = h / 8 and gw = w / 8 in
+  let t =
+    Pipe.create "bilateral_grid"
+      ~params:[ ("GH", gh); ("GW", gw); ("Z", 8) ]
+  in
+  let ghp = prm "GH" and gwp = prm "GW" and z = prm "Z" in
+  Pipe.input t "IMG" [ 8 *$ ghp; 8 *$ gwp ];
+  (* grid construction: scatter of the 8x8 block into each bin, weighted
+     by the distance between the pixel intensity and the bin center *)
+  Pipe.reduction t ~name:"grid" ~out:"GRID"
+    ~extents:[ ghp; gwp; z ]
+    ~red_dims:[ ("dh", cst 8); ("dw", cst 8) ]
+    ~reads:[ ("IMG", [ idx ((8 *$ dim 0) +$ dim 3); idx ((8 *$ dim 1) +$ dim 4) ]) ]
+    ~ops:4
+    ~combine:(fun v ->
+      let pixel = v.(1) in
+      v.(0) +. (1.0 /. (1.0 +. Float.abs (pixel -. 4.0))))
+    ();
+  Pipe.stage t ~name:"blurz" ~out:"BZ"
+    ~extents:[ ghp; gwp; z -$ cst 2 ]
+    ~reads:(taps1d "GRID" ~along:2 ~ndims:3 ~n:3)
+    ~ops:3 ~compute:(avg 3) ();
+  Pipe.stage t ~name:"blurx" ~out:"BXG"
+    ~extents:[ ghp -$ cst 2; gwp; z -$ cst 2 ]
+    ~reads:(taps1d "BZ" ~along:0 ~ndims:3 ~n:3)
+    ~ops:3 ~compute:(avg 3) ();
+  Pipe.stage t ~name:"blury" ~out:"BYG"
+    ~extents:[ ghp -$ cst 2; gwp -$ cst 2; z -$ cst 2 ]
+    ~reads:(taps1d "BXG" ~along:1 ~ndims:3 ~n:3)
+    ~ops:3 ~compute:(avg 3) ();
+  (* slice back to full resolution: trilinear-style interpolation of the
+     blurred grid at the pixel's cell, probing three intensity bins *)
+  Pipe.stage t ~name:"slice" ~out:"OUT"
+    ~extents:[ (8 *$ ghp) -$ cst 16; (8 *$ gwp) -$ cst 16 ]
+    ~reads:
+      [ ("IMG", [ idx (dim 0 +$ cst 8); idx (dim 1 +$ cst 8) ]);
+        ("BYG", [ idx ~div:8 (dim 0); idx ~div:8 (dim 1); idx (cst 0) ]);
+        ("BYG", [ idx ~div:8 (dim 0); idx ~div:8 (dim 1); idx (cst 2) ]);
+        ("BYG", [ idx ~div:8 (dim 0); idx ~div:8 (dim 1); idx (cst 4) ])
+      ]
+    ~ops:6
+    ~compute:(fun v ->
+      let a = Float.abs (v.(0) -. 2.0) and b = Float.abs (v.(0) -. 4.0) in
+      ((v.(1) *. a) +. (v.(2) *. b) +. v.(3)) /. (a +. b +. 1.0))
+    ();
+  Pipe.finish t ~live_out:[ "OUT" ]
+
+(* ------------------------------------------------------------------ *)
+(* Camera pipeline: 32 stages at half resolution                       *)
+(* ------------------------------------------------------------------ *)
+
+let camera_pipeline ?(h2 = 128) ?(w2 = 128) () =
+  let t = Pipe.create "camera_pipeline" ~params:[ ("H2", h2); ("W2", w2) ] in
+  let hh = prm "H2" and ww = prm "W2" in
+  Pipe.input t "RAW" [ 2 *$ hh; 2 *$ ww ];
+  (* 1: hot-pixel suppression (5-point stencil at full res) *)
+  Pipe.stage t ~name:"denoise" ~out:"DN"
+    ~extents:[ (2 *$ hh) -$ cst 4; (2 *$ ww) -$ cst 4 ]
+    ~reads:
+      [ ("RAW", [ idx (dim 0 +$ cst 2); idx (dim 1 +$ cst 2) ]);
+        ("RAW", [ idx (dim 0); idx (dim 1 +$ cst 2) ]);
+        ("RAW", [ idx (dim 0 +$ cst 4); idx (dim 1 +$ cst 2) ]);
+        ("RAW", [ idx (dim 0 +$ cst 2); idx (dim 1) ]);
+        ("RAW", [ idx (dim 0 +$ cst 2); idx (dim 1 +$ cst 4) ])
+      ]
+    ~ops:6
+    ~compute:(fun v ->
+      let m = Float.min (Float.min v.(1) v.(2)) (Float.min v.(3) v.(4)) in
+      let mx = Float.max (Float.max v.(1) v.(2)) (Float.max v.(3) v.(4)) in
+      Float.min (Float.max v.(0) m) mx)
+    ();
+  (* 2-5: Bayer deinterleave into 4 half-res channels (stride-2 reads) *)
+  List.iter
+    (fun (name, oh, ow) ->
+      Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+        ~extents:[ hh -$ cst 2; ww -$ cst 2 ]
+        ~reads:[ ("DN", [ idx ((2 *$ dim 0) +$ cst oh); idx ((2 *$ dim 1) +$ cst ow) ]) ]
+        ~ops:1
+        ~compute:(fun v -> v.(0))
+        ())
+    [ ("gr", 0, 0); ("rr", 0, 1); ("bb", 1, 0); ("gb", 1, 1) ];
+  (* 6-9: green interpolation at the red/blue sites *)
+  let interp2 ?(shrink = 4) name a b =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst shrink; ww -$ cst shrink ]
+      ~reads:
+        [ (a, [ idx (dim 0); idx (dim 1) ]);
+          (a, [ idx (dim 0 +$ cst 1); idx (dim 1) ]);
+          (b, [ idx (dim 0); idx (dim 1) ]);
+          (b, [ idx (dim 0); idx (dim 1 +$ cst 1) ])
+        ]
+      ~ops:4
+      ~compute:(fun v -> (v.(0) +. v.(1) +. v.(2) +. v.(3)) /. 4.0)
+      ()
+  in
+  interp2 "g_at_r" "GR" "GB";
+  interp2 "g_at_b" "GB" "GR";
+  interp2 "g_fill" "GR" "GB";
+  interp2 ~shrink:6 "g_avg" "G_AT_R" "G_AT_B";
+  (* 10-17: red/blue interpolation (4 directions each) *)
+  let rb_interp ?(shrink = 8) name src green =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst shrink; ww -$ cst shrink ]
+      ~reads:
+        [ (src, [ idx (dim 0); idx (dim 1) ]);
+          (src, [ idx (dim 0 +$ cst 1); idx (dim 1 +$ cst 1) ]);
+          (green, [ idx (dim 0); idx (dim 1) ])
+        ]
+      ~ops:3
+      ~compute:(fun v -> ((v.(0) +. v.(1)) /. 2.0) +. (0.1 *. v.(2)))
+      ()
+  in
+  rb_interp "r_gr" "RR" "G_AVG";
+  rb_interp "r_b" "RR" "G_AT_B";
+  rb_interp "r_gb" "RR" "G_FILL";
+  rb_interp ~shrink:10 "r_final" "R_GR" "G_AVG";
+  rb_interp "b_gr" "BB" "G_AVG";
+  rb_interp "b_r" "BB" "G_AT_R";
+  rb_interp "b_gb" "BB" "G_FILL";
+  rb_interp ~shrink:10 "b_final" "B_GR" "G_AVG";
+  (* 18-20: demosaiced RGB merge *)
+  let merge name srcs =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 10; ww -$ cst 10 ]
+      ~reads:(List.map (fun s -> (s, [ idx (dim 0); idx (dim 1) ])) srcs)
+      ~ops:2
+      ~compute:(fun v -> Array.fold_left ( +. ) 0.0 v /. float_of_int (Array.length v))
+      ()
+  in
+  merge "dem_r" [ "R_FINAL"; "R_B" ];
+  merge "dem_g" [ "G_AVG"; "G_FILL" ];
+  merge "dem_b" [ "B_FINAL"; "B_R" ];
+  (* 21-23: color correction matrix *)
+  let ccm name w0 w1 w2 =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 10; ww -$ cst 10 ]
+      ~reads:
+        [ ("DEM_R", [ idx (dim 0); idx (dim 1) ]);
+          ("DEM_G", [ idx (dim 0); idx (dim 1) ]);
+          ("DEM_B", [ idx (dim 0); idx (dim 1) ])
+        ]
+      ~ops:5
+      ~compute:(fun v -> (w0 *. v.(0)) +. (w1 *. v.(1)) +. (w2 *. v.(2)))
+      ()
+  in
+  ccm "cc_r" 1.5 (-0.3) (-0.2);
+  ccm "cc_g" (-0.2) 1.4 (-0.2);
+  ccm "cc_b" (-0.1) (-0.4) 1.5;
+  (* 24-26: tone curve *)
+  let tone name src =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 10; ww -$ cst 10 ]
+      ~reads:[ (src, [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:4
+      ~compute:(fun v -> 8.0 *. (v.(0) /. (1.0 +. Float.abs v.(0))))
+      ()
+  in
+  tone "tc_r" "CC_R";
+  tone "tc_g" "CC_G";
+  tone "tc_b" "CC_B";
+  (* 27-29: sharpen each channel (3x3) *)
+  let sharp name src =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 12; ww -$ cst 12 ]
+      ~reads:(taps2d src ~n:3) ~ops:10
+      ~compute:(fun v -> (2.0 *. v.(4)) -. (Array.fold_left ( +. ) 0.0 v /. 9.0))
+      ()
+  in
+  sharp "sh_r" "TC_R";
+  sharp "sh_g" "TC_G";
+  sharp "sh_b" "TC_B";
+  (* 30-32: final gamma per channel *)
+  let gamma name src =
+    Pipe.stage t ~name ~out:(String.uppercase_ascii name)
+      ~extents:[ hh -$ cst 12; ww -$ cst 12 ]
+      ~reads:[ (src, [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:2
+      ~compute:(fun v -> Float.sqrt (Float.abs v.(0)))
+      ()
+  in
+  gamma "out_r" "SH_R";
+  gamma "out_g" "SH_G";
+  gamma "out_b" "SH_B";
+  Pipe.finish t ~live_out:[ "OUT_R"; "OUT_G"; "OUT_B" ]
+
+(* ------------------------------------------------------------------ *)
+(* Local Laplacian filter                                              *)
+(* ------------------------------------------------------------------ *)
+
+let local_laplacian ?(h = 256) ?(w = 256) ?(levels = 4) ?(bins = 8) () =
+  let t = Pipe.create "local_laplacian" ~params:[ ("H", h); ("W", w) ] in
+  let hh = prm "H" and ww = prm "W" in
+  Pipe.input t "IMG" [ hh; ww ];
+  (* extents per level: level l has size (H >> l) - margins; parameters
+     are concrete so we inline the shifts as integer constants. *)
+  let lvl_h l = Wl.cst (h lsr l) in
+  let lvl_w l = Wl.cst (w lsr l) in
+  ignore (hh, ww);
+  (* gray + gaussian pyramid over the guide *)
+  Pipe.stage t ~name:"gray" ~out:"GP0" ~extents:[ lvl_h 0; lvl_w 0 ]
+    ~reads:[ ("IMG", [ idx (dim 0); idx (dim 1) ]) ]
+    ~ops:1
+    ~compute:(fun v -> v.(0))
+    ();
+  for l = 1 to levels do
+    Pipe.stage t
+      ~name:(Printf.sprintf "gpyr%d" l)
+      ~out:(Printf.sprintf "GP%d" l)
+      ~extents:[ lvl_h l; lvl_w l ]
+      ~reads:
+        (List.concat_map
+           (fun dh ->
+             List.init 2 (fun dw ->
+                 ( Printf.sprintf "GP%d" (l - 1),
+                   [ idx ((2 *$ dim 0) +$ cst dh); idx ((2 *$ dim 1) +$ cst dw) ] )))
+           [ 0; 1 ])
+      ~ops:4 ~compute:(avg 4) ()
+  done;
+  (* per-bin remapped images and their pyramids *)
+  for j = 0 to bins - 1 do
+    let fj = float_of_int j in
+    Pipe.stage t
+      ~name:(Printf.sprintf "remap%d" j)
+      ~out:(Printf.sprintf "RP%d_0" j)
+      ~extents:[ lvl_h 0; lvl_w 0 ]
+      ~reads:[ ("GP0", [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:4
+      ~compute:(fun v ->
+        let d = v.(0) -. fj in
+        v.(0) +. (d *. Float.exp (-0.5 *. d *. d)))
+      ();
+    for l = 1 to levels do
+      Pipe.stage t
+        ~name:(Printf.sprintf "rpyr%d_%d" j l)
+        ~out:(Printf.sprintf "RP%d_%d" j l)
+        ~extents:[ lvl_h l; lvl_w l ]
+        ~reads:
+          (List.concat_map
+             (fun dh ->
+               List.init 2 (fun dw ->
+                   ( Printf.sprintf "RP%d_%d" j (l - 1),
+                     [ idx ((2 *$ dim 0) +$ cst dh); idx ((2 *$ dim 1) +$ cst dw) ]
+                   )))
+             [ 0; 1 ])
+        ~ops:4 ~compute:(avg 4) ()
+    done;
+    (* laplacian bands: RP[l] - up(RP[l+1]) *)
+    for l = 0 to levels - 1 do
+      Pipe.stage t
+        ~name:(Printf.sprintf "lpyr%d_%d" j l)
+        ~out:(Printf.sprintf "LP%d_%d" j l)
+        ~extents:[ 2 *$ lvl_h (l + 1); 2 *$ lvl_w (l + 1) ]
+        ~reads:
+          [ (Printf.sprintf "RP%d_%d" j l, [ idx (dim 0); idx (dim 1) ]);
+            (Printf.sprintf "RP%d_%d" j (l + 1), [ idx ~div:2 (dim 0); idx ~div:2 (dim 1) ])
+          ]
+        ~ops:1
+        ~compute:(fun v -> v.(0) -. v.(1))
+        ()
+    done
+  done;
+  (* per-level blend driven by the guide pyramid *)
+  for l = 0 to levels - 1 do
+    Pipe.stage t
+      ~name:(Printf.sprintf "blend%d" l)
+      ~out:(Printf.sprintf "BL%d" l)
+      ~extents:[ 2 *$ lvl_h (l + 1); 2 *$ lvl_w (l + 1) ]
+      ~reads:
+        ((Printf.sprintf "GP%d" l, [ idx (dim 0); idx (dim 1) ])
+        :: List.init bins (fun j ->
+               (Printf.sprintf "LP%d_%d" j l, [ idx (dim 0); idx (dim 1) ])))
+      ~ops:(2 * bins)
+      ~compute:(fun v ->
+        let g = v.(0) in
+        let acc = ref 0.0 and wsum = ref 1e-6 in
+        for j = 1 to Array.length v - 1 do
+          let wgt = 1.0 /. (1.0 +. Float.abs (g -. float_of_int (j - 1))) in
+          acc := !acc +. (wgt *. v.(j));
+          wsum := !wsum +. wgt
+        done;
+        !acc /. !wsum)
+      ()
+  done;
+  (* collapse: COL[levels-1] = BL[levels-1]; COL[l] = BL[l] + up(COL[l+1]) *)
+  Pipe.stage t
+    ~name:(Printf.sprintf "col%d" (levels - 1))
+    ~out:(Printf.sprintf "COL%d" (levels - 1))
+    ~extents:[ 2 *$ lvl_h levels; 2 *$ lvl_w levels ]
+    ~reads:[ (Printf.sprintf "BL%d" (levels - 1), [ idx (dim 0); idx (dim 1) ]) ]
+    ~ops:1
+    ~compute:(fun v -> v.(0))
+    ();
+  for l = levels - 2 downto 0 do
+    Pipe.stage t
+      ~name:(Printf.sprintf "col%d" l)
+      ~out:(Printf.sprintf "COL%d" l)
+      ~extents:[ 2 *$ lvl_h (l + 1); 2 *$ lvl_w (l + 1) ]
+      ~reads:
+        [ (Printf.sprintf "BL%d" l, [ idx (dim 0); idx (dim 1) ]);
+          (Printf.sprintf "COL%d" (l + 1), [ idx ~div:2 (dim 0); idx ~div:2 (dim 1) ])
+        ]
+      ~ops:2
+      ~compute:(fun v -> v.(0) +. v.(1))
+      ()
+  done;
+  Pipe.finish t ~live_out:[ "COL0" ]
+
+(* ------------------------------------------------------------------ *)
+(* Multiscale interpolation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let multiscale_interp ?(h = 256) ?(w = 256) ?(levels = 8) () =
+  (* the pyramid cannot descend below 4x4 *)
+  let max_levels d =
+    let rec go l x = if x lsr 1 < 4 then l else go (l + 1) (x lsr 1) in
+    go 0 d
+  in
+  let levels = min levels (min (max_levels h) (max_levels w)) in
+  let t = Pipe.create "multiscale_interp" ~params:[ ("H", h); ("W", w) ] in
+  Pipe.input t "IMG" [ prm "H"; prm "W" ];
+  Pipe.input t "MASK" [ prm "H"; prm "W" ];
+  let lvl_h l = Wl.cst (h lsr l) and lvl_w l = Wl.cst (w lsr l) in
+  Pipe.stage t ~name:"d0" ~out:"D0" ~extents:[ lvl_h 0; lvl_w 0 ]
+    ~reads:
+      [ ("IMG", [ idx (dim 0); idx (dim 1) ]);
+        ("MASK", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:1
+    ~compute:(fun v -> v.(0) *. v.(1))
+    ();
+  for l = 1 to levels do
+    (* blur then decimate: two stages per level *)
+    Pipe.stage t
+      ~name:(Printf.sprintf "blur%d" l)
+      ~out:(Printf.sprintf "BD%d" l)
+      ~extents:[ lvl_h (l - 1); lvl_w (l - 1) ]
+      ~reads:
+        [ (Printf.sprintf "D%d" (l - 1), [ idx (dim 0); idx (dim 1) ]);
+          (Printf.sprintf "D%d" (l - 1), [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:2 ~compute:(avg 2) ();
+    Pipe.stage t
+      ~name:(Printf.sprintf "down%d" l)
+      ~out:(Printf.sprintf "D%d" l)
+      ~extents:[ lvl_h l; lvl_w l ]
+      ~reads:
+        (List.concat_map
+           (fun dh ->
+             List.init 2 (fun dw ->
+                 ( Printf.sprintf "BD%d" l,
+                   [ idx ((2 *$ dim 0) +$ cst dh); idx ((2 *$ dim 1) +$ cst dw) ] )))
+           [ 0; 1 ])
+      ~ops:4 ~compute:(avg 4) ()
+  done;
+  Pipe.stage t
+    ~name:(Printf.sprintf "u%d" levels)
+    ~out:(Printf.sprintf "U%d" levels)
+    ~extents:[ lvl_h levels; lvl_w levels ]
+    ~reads:[ (Printf.sprintf "D%d" levels, [ idx (dim 0); idx (dim 1) ]) ]
+    ~ops:1
+    ~compute:(fun v -> v.(0))
+    ();
+  for l = levels - 1 downto 0 do
+    (* upsample then combine with the same-level downsampled data *)
+    Pipe.stage t
+      ~name:(Printf.sprintf "up%d" l)
+      ~out:(Printf.sprintf "UP%d" l)
+      ~extents:[ lvl_h l; lvl_w l ]
+      ~reads:
+        [ (Printf.sprintf "U%d" (l + 1), [ idx ~div:2 (dim 0); idx ~div:2 (dim 1) ]) ]
+      ~ops:1
+      ~compute:(fun v -> v.(0))
+      ();
+    Pipe.stage t
+      ~name:(Printf.sprintf "comb%d" l)
+      ~out:(Printf.sprintf "U%d" l)
+      ~extents:[ lvl_h l; lvl_w l ]
+      ~reads:
+        [ (Printf.sprintf "UP%d" l, [ idx (dim 0); idx (dim 1) ]);
+          (Printf.sprintf "D%d" l, [ idx (dim 0); idx (dim 1) ]) ]
+      ~ops:2
+      ~compute:(fun v -> v.(1) +. (0.5 *. v.(0)))
+      ()
+  done;
+  Pipe.stage t ~name:"norm" ~out:"OUT" ~extents:[ lvl_h 0; lvl_w 0 ]
+    ~reads:
+      [ ("U0", [ idx (dim 0); idx (dim 1) ]);
+        ("MASK", [ idx (dim 0); idx (dim 1) ])
+      ]
+    ~ops:2
+    ~compute:(fun v -> v.(0) /. (v.(1) +. 1.0))
+    ();
+  Pipe.finish t ~live_out:[ "OUT" ]

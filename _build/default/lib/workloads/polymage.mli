@@ -1,0 +1,32 @@
+(** The six PolyMage-benchmark image processing pipelines of Table I.
+
+    The stage graphs are structurally faithful (stencils, reductions,
+    pyramids with floor-division down/up-sampling, channel splits and
+    joins) at reduced arithmetic complexity; stage counts are close to
+    the paper's (small deviations are noted per builder). Stencil taps
+    are unrolled into multiple reads, as PolyMage itself does. *)
+
+val unsharp_mask : ?h:int -> ?w:int -> unit -> Prog.t
+(** 4 stages: blur_x, blur_y, sharpen, mask. *)
+
+val harris : ?h:int -> ?w:int -> unit -> Prog.t
+(** 11 stages: gray, Ix, Iy, Ixx, Ixy, Iyy, Sxx, Sxy, Syy, det, response. *)
+
+val bilateral_grid : ?h:int -> ?w:int -> unit -> Prog.t
+(** 7 statements: grid construction (reduction over 8x8 blocks into a
+    downsampled grid with an intensity axis), blur z/x/y, slice
+    (floor-division accesses back to full resolution). *)
+
+val camera_pipeline : ?h2:int -> ?w2:int -> unit -> Prog.t
+(** 32 stages: denoise, Bayer deinterleave (stride-2 accesses), green /
+    red / blue demosaic, RGB merge, color correction, tone curve,
+    sharpen and combine. Works at half-resolution [h2 x w2]. *)
+
+val local_laplacian : ?h:int -> ?w:int -> ?levels:int -> ?bins:int -> unit -> Prog.t
+(** Gaussian pyramid, per-bin remaps and Laplacian pyramids, per-level
+    blend, collapse. [levels = 4], [bins = 8] gives 85 stages (the paper
+    counts 99 for its settings). *)
+
+val multiscale_interp : ?h:int -> ?w:int -> ?levels:int -> unit -> Prog.t
+(** Down-sampling chain, coarse solve, up-sampling interpolation chain.
+    [levels = 8] gives 35 stages (paper: 49). *)

@@ -1,0 +1,144 @@
+open Wl
+
+type config = {
+  max_stages : int;
+  max_extent : int;
+  allow_reductions : bool;
+  allow_sampling : bool;
+  two_d : bool;
+}
+
+let default_config =
+  { max_stages = 6;
+    max_extent = 24;
+    allow_reductions = true;
+    allow_sampling = true;
+    two_d = true
+  }
+
+(* A deterministic LCG so failures reproduce from the seed alone. *)
+type rng = { mutable state : int }
+
+let rand rng bound =
+  rng.state <- ((rng.state * 1103515245) + 12345) land max_int;
+  (rng.state lsr 17) mod bound
+
+let pick rng l = List.nth l (rand rng (List.length l))
+
+type produced = { arr_name : string; ext : int array }
+
+let generate cfg ~seed =
+  assert (cfg.max_stages >= 2);
+  let rng = { state = (seed * 2654435761) lor 1 } in
+  let nd = if cfg.two_d then 2 else 1 in
+  let t = Pipe.create (Printf.sprintf "fuzz%d" seed) ~params:[] in
+  let e0 = 6 + rand rng (max 1 (cfg.max_extent - 5)) in
+  let input = { arr_name = "IN"; ext = Array.make nd e0 } in
+  Pipe.input t "IN" (List.map cst (Array.to_list input.ext));
+  let produced = ref [ input ] in
+  let n_stages = 2 + rand rng (cfg.max_stages - 1) in
+  let stage_kinds =
+    [ `Pointwise; `Pointwise; `Stencil; `Stencil ]
+    @ (if cfg.allow_sampling then [ `Down; `Up ] else [])
+    @ if cfg.allow_reductions then [ `Reduce ] else []
+  in
+  for k = 0 to n_stages - 1 do
+    let src = pick rng !produced in
+    let name = Printf.sprintf "s%d" k in
+    let out = Printf.sprintf "A%d" k in
+    let kf = float_of_int (k + 1) in
+    let kind =
+      (* sampling needs room to halve/double; stencils need margin *)
+      let usable =
+        List.filter
+          (fun kd ->
+            match kd with
+            | `Down -> Array.for_all (fun e -> e >= 12) src.ext
+            | `Stencil | `Reduce -> Array.for_all (fun e -> e >= 8) src.ext
+            | `Up -> Array.for_all (fun e -> e * 2 <= 2 * cfg.max_extent) src.ext
+            | `Pointwise -> true)
+          stage_kinds
+      in
+      pick rng usable
+    in
+    let dims_idx = List.init nd (fun d -> d) in
+    (match kind with
+    | `Pointwise ->
+        (* one or two source arrays, zero offsets over the min extents *)
+        let src2 = pick rng !produced in
+        let ext = Array.init nd (fun d -> min src.ext.(d) src2.ext.(d)) in
+        Pipe.stage t ~name ~out
+          ~extents:(List.map cst (Array.to_list ext))
+          ~reads:
+            [ (src.arr_name, List.map (fun d -> idx (dim d)) dims_idx);
+              (src2.arr_name, List.map (fun d -> idx (dim d)) dims_idx)
+            ]
+          ~ops:2
+          ~compute:(fun v -> (v.(0) *. 0.5) +. (v.(1) *. 0.25) +. kf)
+          ();
+        produced := { arr_name = out; ext } :: !produced
+    | `Stencil ->
+        let r = 1 + rand rng 2 in
+        let ext = Array.map (fun e -> e - r) src.ext in
+        let taps =
+          List.init (r + 1) (fun o ->
+              (src.arr_name, List.map (fun d -> idx (dim d +$ cst o)) dims_idx))
+        in
+        Pipe.stage t ~name ~out
+          ~extents:(List.map cst (Array.to_list ext))
+          ~reads:taps ~ops:(r + 1)
+          ~compute:(fun v -> Array.fold_left ( +. ) kf v /. float_of_int (r + 2))
+          ();
+        produced := { arr_name = out; ext } :: !produced
+    | `Down ->
+        let a = rand rng 2 in
+        let ext = Array.map (fun e -> (e - a) / 2) src.ext in
+        Pipe.stage t ~name ~out
+          ~extents:(List.map cst (Array.to_list ext))
+          ~reads:
+            [ (src.arr_name, List.map (fun d -> idx ((2 *$ dim d) +$ cst a)) dims_idx) ]
+          ~ops:1
+          ~compute:(fun v -> v.(0) +. kf)
+          ();
+        produced := { arr_name = out; ext } :: !produced
+    | `Up ->
+        let ext = Array.map (fun e -> e * 2) src.ext in
+        Pipe.stage t ~name ~out
+          ~extents:(List.map cst (Array.to_list ext))
+          ~reads:[ (src.arr_name, List.map (fun d -> idx ~div:2 (dim d)) dims_idx) ]
+          ~ops:1
+          ~compute:(fun v -> v.(0) -. kf)
+          ();
+        produced := { arr_name = out; ext } :: !produced
+    | `Reduce ->
+        let r = 3 in
+        let ext = Array.map (fun e -> e - r) src.ext in
+        Pipe.reduction t ~name ~out
+          ~extents:(List.map cst (Array.to_list ext))
+          ~red_dims:[ ("rr", cst r) ]
+          ~reads:
+            [ ( src.arr_name,
+                List.mapi
+                  (fun i d ->
+                    if i = 0 then idx (dim d +$ dim nd) else idx (dim d))
+                  dims_idx )
+            ]
+          ~ops:2
+          ~combine:(fun v -> v.(0) +. (v.(1) *. 0.125))
+          ();
+        produced := { arr_name = out; ext } :: !produced)
+  done;
+  let final = List.hd !produced in
+  Pipe.finish t ~live_out:[ final.arr_name ]
+
+let describe (p : Prog.t) =
+  let kinds =
+    List.map
+      (fun (s : Prog.stmt) ->
+        Printf.sprintf "%s(%d reads, %d dims%s)" s.Prog.stmt_name
+          (List.length s.Prog.reads)
+          (Presburger.Bset.n_dims s.Prog.domain)
+          (if s.Prog.reduction_dims > 0 then ", red" else ""))
+      p.Prog.stmts
+  in
+  Printf.sprintf "%s: %s" p.Prog.prog_name (String.concat " ; " kinds)

@@ -1,0 +1,26 @@
+(** Random pipeline generator for differential testing.
+
+    Generates small but structurally diverse programs — random DAGs of
+    pointwise, stencil, down-sampling, up-sampling and reduction stages
+    over 1D/2D arrays — used by the fuzzing suite to check that every
+    compilation flow (all heuristics, the PolyMage/Halide strategy
+    models and the paper's post-tiling fusion) computes the same
+    live-out values as the untransformed program. *)
+
+type config = {
+  max_stages : int;  (** upper bound on generated stages (>= 2) *)
+  max_extent : int;  (** array extents drawn from [6, max_extent] *)
+  allow_reductions : bool;
+  allow_sampling : bool;  (** down/up-sampling (floor-division) stages *)
+  two_d : bool;  (** 2D arrays (otherwise 1D) *)
+}
+
+val default_config : config
+
+val generate : config -> seed:int -> Prog.t
+(** Deterministic in [seed]. The final stage's array is live-out; every
+    stage reads one or two previously generated arrays with random
+    in-bounds offsets. *)
+
+val describe : Prog.t -> string
+(** One-line structural summary (for failure messages). *)

@@ -1,0 +1,14 @@
+(** Named workload registry used by the CLI, examples and benches. *)
+
+type entry = {
+  reg_name : string;
+  description : string;
+  build : unit -> Prog.t;  (** benchmark-scale instance *)
+  small : unit -> Prog.t;  (** reduced instance for tests/CI *)
+}
+
+val all : entry list
+
+val find : string -> entry
+
+val names : string list

@@ -1,0 +1,47 @@
+open Presburger
+
+let dim = Aff.dim
+
+let cst = Aff.const
+
+let prm p = Aff.param p
+
+let ( +$ ) = Aff.add
+
+let ( -$ ) = Aff.sub
+
+let ( *$ ) = Aff.scale
+
+let box ?(params = []) name bounds =
+  let params_a = Array.of_list params in
+  let np = Array.length params_a in
+  let nd = List.length bounds in
+  let w = np + nd in
+  let param_index p =
+    let rec find i =
+      if i >= np then invalid_arg (Printf.sprintf "Wl.box: unknown param %s" p)
+      else if params_a.(i) = p then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let row a =
+    Aff.to_coef_row ~n_params:np ~param_index ~n_dims:nd ~dim_offset:np ~width:w a
+  in
+  let cstrs =
+    List.concat
+      (List.mapi
+         (fun d (_, lo, hi) ->
+           let lo_row, lo_cst = row (Aff.sub (Aff.dim d) lo) in
+           let hi_row, hi_cst = row (Aff.sub hi (Aff.dim d)) in
+           [ Cstr.ge lo_row lo_cst; Cstr.ge hi_row hi_cst ])
+         bounds)
+  in
+  Bset.make (Space.set_space ~params name (List.map (fun (n, _, _) -> n) bounds)) cstrs
+
+let access ?(params = []) ~stmt ~dims array indices =
+  Prog.mk_access ~params ~stmt_name:stmt ~dims ~array indices
+
+let arr name extents = { Prog.array_name = name; extents }
+
+let idx ?div a = Prog.index ?div a

@@ -1,0 +1,28 @@
+(** Small builder DSL shared by the workload definitions. *)
+
+open Presburger
+
+val dim : ?coef:int -> int -> Aff.t
+
+val cst : int -> Aff.t
+
+val prm : string -> Aff.t
+
+val ( +$ ) : Aff.t -> Aff.t -> Aff.t
+
+val ( -$ ) : Aff.t -> Aff.t -> Aff.t
+
+val ( *$ ) : int -> Aff.t -> Aff.t
+
+val box :
+  ?params:string list -> string -> (string * Aff.t * Aff.t) list -> Bset.t
+(** [box name [(dim, lo, hi); ...]] with inclusive affine bounds; bounds
+    may reference parameters and earlier dimensions (by index). *)
+
+val access :
+  ?params:string list -> stmt:string -> dims:string list -> string ->
+  Prog.index list -> Prog.access
+
+val arr : string -> Aff.t list -> Prog.array_decl
+
+val idx : ?div:int -> Aff.t -> Prog.index

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ast Conv2d Core Exp_util Fusion Gen Hashtbl Interp List Option Printf Prog Registry String

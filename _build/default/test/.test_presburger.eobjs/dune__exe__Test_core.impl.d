@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bmap Bset Conv2d Core Deps Fusion Imap Iset List Parse Presburger Prog Schedule_tree String

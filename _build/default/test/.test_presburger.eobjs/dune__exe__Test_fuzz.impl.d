@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Core Exp_util Fusion List Printf Random_pipeline

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ast Build_tree Cache Conv2d Core Cpu_model Deps Equake Exp_util Footprints Fusion Gen Hashtbl Interp List Npu_model Option Polybench Polymage Resnet String

@@ -1,0 +1,1 @@
+test/test_presburger.ml: Aff Alcotest Array Bmap Bset Cstr Fm Imap Iset List Parse Presburger QCheck QCheck_alcotest Space Vec

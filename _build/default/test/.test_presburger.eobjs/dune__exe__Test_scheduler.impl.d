@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Conv2d Deps Equake Fusion List Polybench Polymage Resnet

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Competitors Conv2d Cpu_model Equake Exp_util Interp List Npu_model Polybench Polymage Prog Registry Resnet

@@ -1,0 +1,300 @@
+(* End-to-end tests of the paper's algorithms on the Fig. 1 running
+   example: dependences, start-up fusion, Algorithm 1 tile shapes
+   (relations (2)-(6)), Algorithms 2-3 post-tiling fusion. *)
+
+open Presburger
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let conv = Conv2d.build ()
+
+let deps = Deps.compute conv
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_deps_edges () =
+  let edges = Deps.raw_edges deps in
+  check bool "S0 -> S2 via A" true (List.mem ("S0", "S2") edges);
+  check bool "S1 -> S2 via C" true (List.mem ("S1", "S2") edges);
+  check bool "S2 -> S3 via C" true (List.mem ("S2", "S3") edges);
+  check bool "no S3 -> S0" false (List.mem ("S3", "S0") edges)
+
+let test_self_dep () =
+  let self = Deps.between deps ~src:"S2" ~dst:"S2" in
+  check bool "reduction has self-dependence" true (self <> []);
+  (* distance on h and w is zero; the dependence is carried by kh/kw *)
+  List.iter
+    (fun (d : Deps.t) ->
+      List.iter
+        (fun piece ->
+          let lo, hi = Deps.delta_bounds conv piece ~src_dim:0 ~dst_dim:0 in
+          check bool "zero distance on h" true (lo = Some 0 && hi = Some 0))
+        (Imap.pieces d.Deps.rel))
+    self
+
+let test_producer_distance () =
+  (* S0 -> S2 on A: delta_h = h2 - h0 = -kh, in [-(KH-1), 0] *)
+  let d = List.hd (Deps.between deps ~src:"S0" ~dst:"S2") in
+  let piece = List.hd (Imap.pieces d.Deps.rel) in
+  let lo, hi = Deps.delta_bounds conv piece ~src_dim:0 ~dst_dim:0 in
+  check bool "lower bound -(KH-1)" true (lo = Some (-2));
+  check bool "upper bound 0" true (hi = Some 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fusion heuristics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let groups_of h target =
+  let r = Fusion.schedule conv ~deps ~target_parallelism:target h in
+  List.map (fun (g : Fusion.group) -> g.Fusion.stmts) r.Fusion.groups
+
+let test_minfuse () =
+  (* nest-level grouping keeps the imperfect nest {S1,S2} together *)
+  check bool "minfuse groups" true
+    (groups_of Fusion.Minfuse 1 = [ [ "S0" ]; [ "S1"; "S2" ]; [ "S3" ] ])
+
+let test_smartfuse () =
+  (* the conservative result of the paper: ({S0}, {S1,S2,S3}) *)
+  let gs = groups_of Fusion.Smartfuse 1 in
+  check bool "smartfuse groups" true
+    (gs = [ [ "S0" ]; [ "S1"; "S2"; "S3" ] ])
+
+let test_smartfuse_parallelism () =
+  let r = Fusion.schedule conv ~deps ~target_parallelism:1 Fusion.Smartfuse in
+  List.iter
+    (fun (g : Fusion.group) ->
+      check bool "group stays permutable" true g.Fusion.permutable;
+      check bool "outer parallel" true (Fusion.n_parallel g >= 1))
+    r.Fusion.groups
+
+let test_maxfuse () =
+  (* maxfuse groups everything, losing coincidence (Fig. 1(c)) *)
+  let r = Fusion.schedule conv ~deps ~target_parallelism:1 Fusion.Maxfuse in
+  check int "maxfuse: one group" 1 (List.length r.Fusion.groups);
+  let g = List.hd r.Fusion.groups in
+  check int "maxfuse loses parallelism" 0 (Fusion.n_parallel g);
+  (* the shift aligning S0 with its consumers is KH-1 = 2 on consumers *)
+  let shift_s0 = List.assoc "S0" g.Fusion.shifts in
+  let shift_s2 = List.assoc "S2" g.Fusion.shifts in
+  check int "relative shift h" 2 (shift_s2.(0) - shift_s0.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compiled = Core.Pipeline.run ~target:Core.Pipeline.Cpu ~tile_size:2 conv
+
+let the_root () =
+  match compiled.Core.Pipeline.plan.Core.Post_tiling.roots with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected one root, got %d" (List.length rs)
+
+let test_one_root_fused () =
+  let r = the_root () in
+  let t = r.Core.Post_tiling.tiling in
+  check bool "live-out space is the reduction space" true
+    (t.Core.Tile_shapes.untiled = []);
+  check int "one fused intermediate (the quantization space)" 1
+    (List.length t.Core.Tile_shapes.extensions);
+  check bool "S0's space skipped" true
+    (compiled.Core.Pipeline.plan.Core.Post_tiling.skipped <> [])
+
+(* With H = W = 6, KH = KW = 3, T = 2: the extension schedule of tile
+   (1,0) covers S0 instances 2<=h<=5, 0<=w<=3 (paper Fig. 4). *)
+let test_extension_schedule () =
+  let r = the_root () in
+  let t = r.Core.Post_tiling.tiling in
+  let ext = List.hd t.Core.Tile_shapes.extensions in
+  let tile10 =
+    Core.Tile_shapes.footprint_of_tile ~tile:[| 1; 0 |] conv
+      ext.Core.Tile_shapes.ext_rel
+  in
+  let expected = Parse.bset "{ S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 }" in
+  check bool "blue tile S0 instances" true
+    (Iset.is_equal tile10 (Iset.of_bset expected));
+  let tile11 =
+    Core.Tile_shapes.footprint_of_tile ~tile:[| 1; 1 |] conv
+      ext.Core.Tile_shapes.ext_rel
+  in
+  let expected11 = Parse.bset "{ S0[h, w] : 2 <= h <= 5 and 2 <= w <= 5 }" in
+  check bool "red tile S0 instances" true
+    (Iset.is_equal tile11 (Iset.of_bset expected11));
+  (* overlapped tiling: consecutive tiles recompute the shared border *)
+  check bool "tiles overlap" false
+    (Iset.is_empty (Iset.intersect tile10 tile11))
+
+let test_tile_relation_counts () =
+  let r = the_root () in
+  let t = r.Core.Post_tiling.tiling in
+  (* reduction space is 4x4 with 2x2 tiles: 4 tiles *)
+  let tiles =
+    Imap.range (Imap.bind_params t.Core.Tile_shapes.tile_rel conv.Prog.params)
+  in
+  check int "number of tiles" 4 (Iset.card tiles)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2: tree structure                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_shape () =
+  let tree = compiled.Core.Pipeline.tree in
+  let s = Schedule_tree.to_string tree in
+  check bool "has extension node" true (contains_substring s "extension:")
+
+let test_tree_marks () =
+  let tree = compiled.Core.Pipeline.tree in
+  let rec collect_marks acc = function
+    | Schedule_tree.Mark (m, c) -> collect_marks (m :: acc) c
+    | Schedule_tree.Domain (_, c)
+    | Schedule_tree.Band (_, c)
+    | Schedule_tree.Filter (_, c)
+    | Schedule_tree.Extension (_, c) -> collect_marks acc c
+    | Schedule_tree.Sequence cs -> List.fold_left collect_marks acc cs
+    | Schedule_tree.Leaf -> acc
+  in
+  let marks = collect_marks [] tree in
+  check bool "skipped mark present" true (List.mem "skipped" marks);
+  check bool "kernel mark present" true (List.mem "kernel" marks)
+
+(* The fused intermediate instances cover exactly what the consumer
+   tiles need: the union over all tiles contains the upwards-exposed
+   subset of S0's domain. *)
+let test_no_redundant_and_complete () =
+  let r = the_root () in
+  let t = r.Core.Post_tiling.tiling in
+  let ext = List.hd t.Core.Tile_shapes.extensions in
+  (* union of the per-tile instance sets (2x2 tile grid) *)
+  let all_tiles =
+    Iset.union_all
+      (List.concat_map
+         (fun o0 ->
+           List.map
+             (fun o1 ->
+               Core.Tile_shapes.footprint_of_tile ~tile:[| o0; o1 |] conv
+                 ext.Core.Tile_shapes.ext_rel)
+             [ 0; 1 ])
+         [ 0; 1 ])
+  in
+  (* every S0 instance whose value S2 reads is covered *)
+  let s0 = Prog.find_stmt conv "S0" in
+  let s2 = Prog.find_stmt conv "S2" in
+  let needed =
+    let read_a =
+      List.find (fun (a : Prog.access) -> a.Prog.array = "A") s2.Prog.reads
+    in
+    let elems =
+      Imap.apply_set
+        (Iset.of_bset (Bset.bind_params s2.Prog.domain conv.Prog.params))
+        (Imap.of_bmap (Bmap.bind_params read_a.Prog.rel conv.Prog.params))
+    in
+    Imap.apply_set elems
+      (Imap.of_bmap
+         (Bmap.reverse (Bmap.bind_params s0.Prog.write.Prog.rel conv.Prog.params)))
+  in
+  check bool "fused instances cover all needed producer instances" true
+    (Iset.is_subset needed all_tiles)
+
+
+(* ------------------------------------------------------------------ *)
+(* Computation spaces                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let conv_spaces =
+  let r = Fusion.schedule conv ~deps ~target_parallelism:1 Fusion.Smartfuse in
+  Core.Spaces.of_result conv r
+
+let test_space_classification () =
+  check int "two spaces" 2 (List.length conv_spaces);
+  let quant = List.nth conv_spaces 0 and red = List.nth conv_spaces 1 in
+  check bool "quantization space intermediate" false quant.Core.Spaces.live_out;
+  check bool "reduction space live-out" true red.Core.Spaces.live_out;
+  check bool "writes" true
+    (quant.Core.Spaces.writes = [ "A" ] && red.Core.Spaces.writes = [ "C" ])
+
+let test_space_graph () =
+  let quant = List.nth conv_spaces 0 and red = List.nth conv_spaces 1 in
+  check bool "consumer edge" true
+    (List.exists
+       (fun (c : Core.Spaces.t) -> c.Core.Spaces.id = red.Core.Spaces.id)
+       (Core.Spaces.consumers conv_spaces quant));
+  check bool "producer closure" true
+    (List.exists
+       (fun (c : Core.Spaces.t) -> c.Core.Spaces.id = quant.Core.Spaces.id)
+       (Core.Spaces.producer_closure conv_spaces red))
+
+(* ------------------------------------------------------------------ *)
+(* Dependence kinds and directions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dep_kinds () =
+  let kinds_between src dst =
+    List.filter_map
+      (fun (d : Deps.t) ->
+        if d.Deps.src = src && d.Deps.dst = dst then Some d.Deps.kind else None)
+      deps
+  in
+  (* S2 reads and writes C after S1 writes it: RAW and WAW *)
+  let s1s2 = kinds_between "S1" "S2" in
+  check bool "S1->S2 RAW" true (List.mem Deps.Raw s1s2);
+  check bool "S1->S2 WAW" true (List.mem Deps.Waw s1s2);
+  (* the reduction's read of C before S3 overwrites it: WAR *)
+  check bool "S2->S3 WAR" true (List.mem Deps.War (kinds_between "S2" "S3"));
+  (* dependences never point backwards in textual order *)
+  List.iter
+    (fun (d : Deps.t) ->
+      check bool "forward only" true
+        (Prog.stmt_index conv d.Deps.src <= Prog.stmt_index conv d.Deps.dst))
+    deps
+
+let test_self_dep_count () =
+  (* the reduction self-RAW relates each instance to every later one on
+     the same output element: with KH=KW=3 each C element has 9 updates,
+     hence 9*8/2 ordered pairs per element *)
+  let d =
+    List.find
+      (fun (d : Deps.t) -> d.Deps.src = "S2" && d.Deps.dst = "S2" && d.Deps.kind = Deps.Raw)
+      deps
+  in
+  let pairs = Presburger.Imap.card (Presburger.Imap.bind_params d.Deps.rel conv.Prog.params) in
+  let elems = 4 * 4 in
+  check int "ordered update pairs" (elems * (9 * 8 / 2)) pairs
+
+let () =
+  Alcotest.run "core"
+    [ ( "deps",
+        [ Alcotest.test_case "producer edges" `Quick test_deps_edges;
+          Alcotest.test_case "reduction self-dep" `Quick test_self_dep;
+          Alcotest.test_case "producer distances" `Quick test_producer_distance;
+          Alcotest.test_case "dependence kinds" `Quick test_dep_kinds;
+          Alcotest.test_case "self-dep pair count" `Quick test_self_dep_count
+        ] );
+      ( "spaces",
+        [ Alcotest.test_case "classification" `Quick test_space_classification;
+          Alcotest.test_case "producer/consumer graph" `Quick test_space_graph
+        ] );
+      ( "fusion",
+        [ Alcotest.test_case "minfuse" `Quick test_minfuse;
+          Alcotest.test_case "smartfuse = paper conservative" `Quick test_smartfuse;
+          Alcotest.test_case "smartfuse keeps parallelism" `Quick test_smartfuse_parallelism;
+          Alcotest.test_case "maxfuse fuses all, loses parallelism" `Quick test_maxfuse
+        ] );
+      ( "algorithm-1",
+        [ Alcotest.test_case "one root, S0 fused" `Quick test_one_root_fused;
+          Alcotest.test_case "extension schedule = paper Fig 4" `Quick test_extension_schedule;
+          Alcotest.test_case "tile counts" `Quick test_tile_relation_counts
+        ] );
+      ( "algorithm-2",
+        [ Alcotest.test_case "tree has extension" `Quick test_tree_shape;
+          Alcotest.test_case "skipped and kernel marks" `Quick test_tree_marks;
+          Alcotest.test_case "coverage without gaps" `Quick test_no_redundant_and_complete
+        ] )
+    ]

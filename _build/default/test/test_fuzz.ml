@@ -1,0 +1,58 @@
+(* Differential fuzzing: random pipelines compiled through every flow
+   must compute the same live-out values as the untransformed program.
+   This exercises the full stack (dependences, heuristics, Algorithms
+   1-3, code generation, interpreter) on shapes no hand-written
+   benchmark covers: random DAGs with fan-out, mixed stencil radii,
+   floor-division sampling and reductions. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let flows p =
+  [ Exp_util.heuristic ~tile:5 ~target:Core.Pipeline.Cpu Fusion.Minfuse p;
+    Exp_util.heuristic ~tile:5 ~target:Core.Pipeline.Cpu Fusion.Smartfuse p;
+    Exp_util.heuristic ~tile:5 ~target:Core.Pipeline.Cpu Fusion.Maxfuse p;
+    Exp_util.ours ~tile:5 ~target:Core.Pipeline.Cpu p;
+    Exp_util.polymage_version ~tile:5 ~target:Core.Pipeline.Cpu p
+  ]
+
+let run_seed cfg seed =
+  let p = Random_pipeline.generate cfg ~seed in
+  let reference = Exp_util.naive p in
+  List.iter
+    (fun v ->
+      check bool
+        (Printf.sprintf "seed %d, %s [%s]" seed v.Exp_util.ver_name
+           (Random_pipeline.describe p))
+        true
+        (Exp_util.check_against p reference v))
+    (flows p)
+
+let batch name cfg seeds =
+  Alcotest.test_case name `Slow (fun () -> List.iter (run_seed cfg) seeds)
+
+let seeds lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let () =
+  let open Random_pipeline in
+  Alcotest.run "fuzz"
+    [ ( "pipelines",
+        [ batch "1d basic"
+            { default_config with two_d = false; allow_sampling = false;
+              allow_reductions = false }
+            (seeds 1 15);
+          batch "1d sampling"
+            { default_config with two_d = false; allow_reductions = false }
+            (seeds 16 30);
+          batch "1d reductions"
+            { default_config with two_d = false; allow_sampling = false }
+            (seeds 31 40);
+          batch "2d basic"
+            { default_config with allow_sampling = false; allow_reductions = false }
+            (seeds 41 50);
+          batch "2d full" default_config (seeds 51 62);
+          batch "2d deep"
+            { default_config with max_stages = 10; max_extent = 16 }
+            (seeds 63 70)
+        ] )
+    ]

@@ -1,0 +1,215 @@
+(* Machine-model tests: cache simulator behaviour, interpreter checks,
+   footprint/traffic accounting, and qualitative properties of the
+   CPU/GPU/NPU models (fusion reduces traffic; lost parallelism costs;
+   more threads never hurt). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Cache simulator                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_cache () =
+  Cache.create
+    ~levels:
+      [ { Cache.name = "L1"; size_bytes = 256; line_bytes = 64; assoc = 2; latency = 1 } ]
+    ~dram_latency:100
+
+let test_cache_hit_miss () =
+  let c = tiny_cache () in
+  let lat1 = Cache.access c ~addr:0 ~write:false in
+  let lat2 = Cache.access c ~addr:4 ~write:false in
+  check int "cold miss" 101 lat1;
+  check int "same line hits" 1 lat2;
+  match Cache.stats c with
+  | [ l1 ] ->
+      check int "one miss" 1 l1.Cache.misses;
+      check int "one hit" 1 l1.Cache.hits
+  | _ -> Alcotest.fail "one level expected"
+
+let test_cache_lru () =
+  let c = tiny_cache () in
+  (* 2 sets x 2 ways of 64B lines; addresses mapping to set 0:
+     line numbers 0, 2, 4 -> tags 0, 1, 2 *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:128 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  (* set 0 holds lines {0,128}, 0 most recent: inserting 256 evicts 128 *)
+  ignore (Cache.access c ~addr:256 ~write:false);
+  let lat0 = Cache.access c ~addr:0 ~write:false in
+  check int "LRU kept the recent line" 1 lat0;
+  let lat128 = Cache.access c ~addr:128 ~write:false in
+  check int "LRU evicted the old line" 101 lat128
+
+let test_cache_reset () =
+  let c = tiny_cache () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  Cache.reset c;
+  check int "dram reset" 0 (Cache.dram_accesses c);
+  let lat = Cache.access c ~addr:0 ~write:false in
+  check int "cold again" 101 lat
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_bounds () =
+  let p = Conv2d.build ~h:4 ~w:4 () in
+  (* hand-build an AST calling S0 out of bounds *)
+  let bad = Ast.Call { stmt = "S0"; args = [ Ast.Int 7; Ast.Int 0 ] } in
+  let mem = Interp.alloc p in
+  (match Interp.run p bad mem with
+  | exception Invalid_argument msg ->
+      check bool "names the array" true
+        (String.length msg > 0 && String.sub msg 0 6 = "Interp")
+  | _ -> Alcotest.fail "expected out-of-bounds failure");
+  (* unknown statement *)
+  match Interp.run p (Ast.Call { stmt = "nope"; args = [] }) mem with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unknown-statement failure"
+
+let test_interp_guard () =
+  let p = Equake.build ~size:Equake.Test () in
+  let deps = Deps.compute p in
+  let ast =
+    Gen.generate p
+      (Build_tree.initial_tree p
+         (Fusion.schedule p ~deps ~target_parallelism:1 Fusion.Minfuse))
+  in
+  let mem = Interp.alloc p in
+  let stats = Interp.run p ast mem in
+  let n = Equake.size_nodes Equake.Test in
+  let executed =
+    Option.value ~default:0 (Hashtbl.find_opt stats.Interp.per_stmt "rupd")
+  in
+  (* the dynamic guard executes strictly fewer instances than the affine
+     superset, and at least the minimum row length *)
+  check bool "guard prunes" true (executed < n * 16);
+  check bool "guard keeps short rows" true (executed >= n * 4)
+
+let test_fill_deterministic () =
+  let p = Conv2d.build ~h:8 ~w:8 () in
+  let m1 = Cpu_model.run_to_memory p (Ast.Nop) in
+  let m2 = Cpu_model.run_to_memory p (Ast.Nop) in
+  check bool "same seed, same data" true (Interp.arrays_equal m1 m2 "A")
+
+(* ------------------------------------------------------------------ *)
+(* Footprints and traffic                                              *)
+(* ------------------------------------------------------------------ *)
+
+let conv16 = Conv2d.build ~h:16 ~w:16 ()
+
+let compiled16 = Core.Pipeline.run ~target:Core.Pipeline.Cpu ~tile_size:4 conv16
+
+let test_cluster_staging () =
+  match Footprints.clusters_of_compiled compiled16 with
+  | [ c ] ->
+      check bool "A staged on-chip" true (List.mem "A" c.Footprints.staged_arrays);
+      (* 16 tiles of 4x4 over the 14x14 output *)
+      check int "tiles" 16 c.Footprints.tile_count
+  | cs -> Alcotest.failf "expected one cluster, got %d" (List.length cs)
+
+let test_traffic_rules () =
+  match Footprints.clusters_of_compiled compiled16 with
+  | [ c ] ->
+      let t = Footprints.cluster_traffic conv16 ~previous:[] c in
+      (* writes: only the live-out C (14x14 elements, 4 bytes) *)
+      check int "write bytes" (14 * 14 * 4) t.Footprints.write_bytes;
+      (* reads: A is staged (free); B and the original A image are read
+         per tile; C's accumulator reads are intra-cluster (free) *)
+      check bool "read bytes positive" true (t.Footprints.read_bytes > 0)
+  | _ -> Alcotest.fail "expected one cluster"
+
+let test_fusion_reduces_traffic () =
+  let unfused =
+    Core.Pipeline.run_heuristic ~tile_size:4 ~target:Core.Pipeline.Cpu
+      Fusion.Minfuse conv16
+  in
+  let cs_unfused = Footprints.clusters_of_baseline ~tile_size:4 unfused in
+  let total cs =
+    let rec go prev = function
+      | [] -> 0
+      | c :: rest ->
+          let t = Footprints.cluster_traffic conv16 ~previous:prev c in
+          t.Footprints.read_bytes + t.Footprints.write_bytes + go (prev @ [ c ]) rest
+    in
+    go [] cs
+  in
+  check bool "fusion reduces off-chip traffic" true
+    (total (Footprints.clusters_of_compiled compiled16) < total cs_unfused)
+
+(* ------------------------------------------------------------------ *)
+(* CPU model properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_threads_monotone () =
+  let p = Polymage.unsharp_mask ~h:64 ~w:64 () in
+  let v = Exp_util.ours ~tile:8 ~target:Core.Pipeline.Cpu p in
+  let t1 = Exp_util.cpu_time_ms p v ~threads:1 in
+  let t4 = Exp_util.cpu_time_ms p v ~threads:4 in
+  let t32 = Exp_util.cpu_time_ms p v ~threads:32 in
+  check bool "4 threads faster than 1" true (t4 < t1);
+  check bool "32 threads no slower than 4" true (t32 <= t4)
+
+let test_vectorize_override () =
+  let p = Polybench.gemver ~n:64 () in
+  let v = Exp_util.naive p in
+  let seq = Exp_util.cpu_time_ms ~vectorize:false p v ~threads:1 in
+  let vec = Exp_util.cpu_time_ms ~vectorize:true p v ~threads:1 in
+  check bool "vectorization helps" true (vec < seq)
+
+(* ------------------------------------------------------------------ *)
+(* GPU / NPU model properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gpu_fusion_wins () =
+  let p = Polymage.unsharp_mask ~h:128 ~w:128 () in
+  let minf = Exp_util.heuristic ~target:Core.Pipeline.Gpu Fusion.Minfuse p in
+  let our = Exp_util.ours ~tile:16 ~target:Core.Pipeline.Gpu p in
+  check bool "fused kernel beats minfuse" true
+    (Exp_util.gpu_time_ms p our < Exp_util.gpu_time_ms p minf)
+
+let test_npu_conv_bn_fusion () =
+  let b = List.hd (Resnet.default_blocks ()) in
+  let p = Resnet.layer b in
+  let time v =
+    Npu_model.time_ms Npu_model.ascend910 p ~kind_of:Resnet.unit_kind
+      (Exp_util.clusters p v)
+  in
+  let smart =
+    Exp_util.heuristic ~fuse_reductions:false ~target:Core.Pipeline.Npu
+      Fusion.Smartfuse p
+  in
+  let our = Exp_util.ours ~fuse_reductions:false ~tile:8 ~target:Core.Pipeline.Npu p in
+  let s = time smart and o = time our in
+  check bool "fusing conv+bn avoids the DDR round trip" true (o < s);
+  check bool "speedup within a plausible band" true (s /. o > 1.05 && s /. o < 4.0)
+
+let () =
+  Alcotest.run "machine"
+    [ ( "cache",
+        [ Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU" `Quick test_cache_lru;
+          Alcotest.test_case "reset" `Quick test_cache_reset
+        ] );
+      ( "interp",
+        [ Alcotest.test_case "bounds checking" `Quick test_interp_bounds;
+          Alcotest.test_case "dynamic guard" `Quick test_interp_guard;
+          Alcotest.test_case "deterministic fill" `Quick test_fill_deterministic
+        ] );
+      ( "footprints",
+        [ Alcotest.test_case "staging" `Quick test_cluster_staging;
+          Alcotest.test_case "traffic rules" `Quick test_traffic_rules;
+          Alcotest.test_case "fusion reduces traffic" `Quick test_fusion_reduces_traffic
+        ] );
+      ( "cpu-model",
+        [ Alcotest.test_case "thread monotonicity" `Quick test_threads_monotone;
+          Alcotest.test_case "vectorize override" `Quick test_vectorize_override
+        ] );
+      ( "gpu-npu",
+        [ Alcotest.test_case "gpu fusion wins" `Slow test_gpu_fusion_wins;
+          Alcotest.test_case "npu conv+bn" `Slow test_npu_conv_bn_fusion
+        ] )
+    ]

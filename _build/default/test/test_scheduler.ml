@@ -1,0 +1,160 @@
+(* Scheduler tests: SCC computation and ordering, nest-level atoms,
+   shift solving, permutable/coincident attributes, the four fusion
+   heuristics, dynamic-guard fusion rules and the maxfuse search
+   budget. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let groups_of p h ?(target = 1) ?fuse_reductions ?max_steps () =
+  let deps = Deps.compute p in
+  let r =
+    Fusion.schedule ?fuse_reductions ?max_steps p ~deps
+      ~target_parallelism:target h
+  in
+  (r, List.map (fun (g : Fusion.group) -> g.Fusion.stmts) r.Fusion.groups)
+
+(* ------------------------------------------------------------------ *)
+(* conv2d                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let conv = Conv2d.build ()
+
+let test_scc_order () =
+  let deps = Deps.compute conv in
+  let sccs = Deps.sccs conv deps in
+  check bool "textual tie-breaking" true
+    (sccs = [ [ "S0" ]; [ "S1" ]; [ "S2" ]; [ "S3" ] ])
+
+let test_shifts_maxfuse () =
+  let r, gs = groups_of conv Fusion.Maxfuse () in
+  check int "single group" 1 (List.length gs);
+  let g = List.hd r.Fusion.groups in
+  (* legality: for every producer dependence the shifted distance is
+     non-negative (checked indirectly: permutable or serialized) *)
+  check bool "aligned or serialized" true
+    (g.Fusion.permutable || g.Fusion.serialized)
+
+let test_hybrid_equals_smart_groups () =
+  let _, gs1 = groups_of conv Fusion.Smartfuse () in
+  let _, gs2 = groups_of conv Fusion.Hybridfuse () in
+  check bool "same grouping" true (gs1 = gs2)
+
+let test_gpu_target_more_conservative () =
+  (* requiring 2 parallel dimensions can only produce >= as many groups *)
+  let _, cpu = groups_of conv Fusion.Smartfuse ~target:1 () in
+  let _, gpu = groups_of conv Fusion.Smartfuse ~target:2 () in
+  check bool "gpu grouping at least as fine" true
+    (List.length gpu >= List.length cpu)
+
+(* ------------------------------------------------------------------ *)
+(* PolyBench shapes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_2mm_smartfuse_outer () =
+  let p = Polybench.mm2 ~ni:16 ~nj:16 ~nk:16 ~nl:16 () in
+  let r, gs = groups_of p Fusion.Smartfuse () in
+  check int "one group" 1 (List.length gs);
+  let g = List.hd r.Fusion.groups in
+  (* the two multiplications fuse with the i loop parallel; the second
+     matrix's j loop is aligned by a constant shift (specialized to the
+     bound sizes), so only the outer dimension stays coincident *)
+  check bool "fused band" true (g.Fusion.band_dims >= 1);
+  check int "outer loop parallel" 1 (Fusion.n_parallel g);
+  check bool "permutable" true g.Fusion.permutable
+
+let test_covariance_maxfuse_serializes () =
+  let p = Polybench.covariance ~n:16 ~m:8 () in
+  let r, _ = groups_of p Fusion.Maxfuse () in
+  (* the mean -> center -> cov chain cannot be aligned by constant
+     shifts; maxfuse still fuses but loses all parallelism *)
+  check bool "some group lost parallelism" true
+    (List.exists (fun g -> Fusion.n_parallel g = 0) r.Fusion.groups)
+
+let test_gemver_smartfuse_keeps_parallelism () =
+  let p = Polybench.gemver ~n:24 () in
+  let r, _ = groups_of p Fusion.Smartfuse () in
+  List.iter
+    (fun (g : Fusion.group) ->
+      check bool "parallel outer" true (Fusion.n_parallel g >= 1))
+    r.Fusion.groups
+
+(* ------------------------------------------------------------------ *)
+(* equake guard rules                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_equake_smartfuse_components () =
+  let p = Equake.build_permuted ~size:Equake.Test () in
+  let _, gs = groups_of p Fusion.Smartfuse () in
+  check bool "SpMV components fused, affine chain separate" true
+    (gs = [ [ "rinit"; "rupd"; "gather" ]; [ "disp"; "vel"; "pos" ] ])
+
+let test_equake_maxfuse_barrier () =
+  let p = Equake.build_permuted ~size:Equake.Test () in
+  let _, gs = groups_of p Fusion.Maxfuse () in
+  (* the dynamic nest is a black box for the aggressive heuristic; the
+     gather joins the affine chain *)
+  check bool "gather fused with affine nests" true
+    (List.mem [ "gather"; "disp"; "vel"; "pos" ] gs);
+  check bool "dynamic nest kept to its own writers" true
+    (List.mem [ "rinit"; "rupd" ] gs)
+
+let test_equake_nest_atom () =
+  let p = Equake.build ~size:Equake.Test () in
+  let _, gs = groups_of p Fusion.Minfuse () in
+  (* the original imperfect nest is never split by the start-up *)
+  check bool "SpMV nest atomic" true
+    (List.mem [ "rinit"; "rupd"; "gather" ] gs)
+
+let test_fuse_reductions_flag () =
+  let b = List.hd (Resnet.default_blocks ()) in
+  let p = Resnet.layer b in
+  let _, with_red = groups_of p Fusion.Smartfuse () in
+  let _, without = groups_of p Fusion.Smartfuse ~fuse_reductions:false () in
+  check bool "reduction fused by default" true
+    (List.length with_red < List.length without)
+
+(* ------------------------------------------------------------------ *)
+(* maxfuse budget                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxfuse_budget () =
+  let p = Polymage.local_laplacian ~h:64 ~w:64 ~levels:2 ~bins:4 () in
+  let r, _ = groups_of p Fusion.Maxfuse ~max_steps:2000 () in
+  check bool "search budget exceeded on a deep pipeline" true
+    r.Fusion.budget_exceeded;
+  let r2, _ = groups_of p Fusion.Minfuse ~max_steps:2000 () in
+  check bool "conservative heuristics unaffected" false r2.Fusion.budget_exceeded
+
+let test_search_steps_ordering () =
+  let p = Polymage.harris ~h:32 ~w:32 () in
+  let rmin, _ = groups_of p Fusion.Minfuse () in
+  let rmax, _ = groups_of p Fusion.Maxfuse () in
+  check bool "maxfuse searches more" true
+    (rmax.Fusion.search_steps > rmin.Fusion.search_steps)
+
+let () =
+  Alcotest.run "scheduler"
+    [ ( "conv2d",
+        [ Alcotest.test_case "SCC order" `Quick test_scc_order;
+          Alcotest.test_case "maxfuse shifts" `Quick test_shifts_maxfuse;
+          Alcotest.test_case "hybrid grouping" `Quick test_hybrid_equals_smart_groups;
+          Alcotest.test_case "gpu target" `Quick test_gpu_target_more_conservative
+        ] );
+      ( "polybench",
+        [ Alcotest.test_case "2mm outer fusion" `Quick test_2mm_smartfuse_outer;
+          Alcotest.test_case "covariance maxfuse" `Quick test_covariance_maxfuse_serializes;
+          Alcotest.test_case "gemver parallelism" `Quick test_gemver_smartfuse_keeps_parallelism
+        ] );
+      ( "equake",
+        [ Alcotest.test_case "smartfuse components" `Quick test_equake_smartfuse_components;
+          Alcotest.test_case "maxfuse barrier" `Quick test_equake_maxfuse_barrier;
+          Alcotest.test_case "nest atom" `Quick test_equake_nest_atom;
+          Alcotest.test_case "fuse_reductions flag" `Quick test_fuse_reductions_flag
+        ] );
+      ( "budget",
+        [ Alcotest.test_case "maxfuse budget" `Quick test_maxfuse_budget;
+          Alcotest.test_case "search steps" `Quick test_search_steps_ordering
+        ] )
+    ]

@@ -1,0 +1,127 @@
+(* Workload-definition tests: structural invariants of every benchmark
+   (validation, stage counts, live-out sets, domain sizes, access
+   bounds under the interpreter). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_registry_valid () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      Prog.validate (e.Registry.small ());
+      Prog.validate (e.Registry.build ()))
+    Registry.all
+
+let test_registry_find () =
+  check bool "find harris" true
+    ((Registry.find "harris").Registry.reg_name = "harris");
+  match Registry.find "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure for unknown workload"
+
+let test_stage_counts () =
+  let count p = List.length p.Prog.stmts in
+  check int "unsharp mask stages" 4 (count (Polymage.unsharp_mask ()));
+  check int "harris stages" 11 (count (Polymage.harris ()));
+  (* bilateral: 5 stages, 6 statements (the grid reduction splits) *)
+  check int "bilateral statements" 6 (count (Polymage.bilateral_grid ()));
+  check int "camera stages" 32 (count (Polymage.camera_pipeline ()));
+  check bool "local laplacian is deep" true
+    (count (Polymage.local_laplacian ~levels:4 ~bins:8 ()) >= 80);
+  check int "2mm statements" 4 (count (Polybench.mm2 ()));
+  check int "gemver statements" 6 (count (Polybench.gemver ()));
+  check int "covariance statements" 7 (count (Polybench.covariance ()));
+  check int "equake statements" 6 (count (Equake.build ()))
+
+let test_live_out () =
+  let lo p = p.Prog.live_out in
+  check bool "conv2d" true (lo (Conv2d.build ()) = [ "C" ]);
+  check bool "camera RGB" true
+    (lo (Polymage.camera_pipeline ()) = [ "OUT_R"; "OUT_G"; "OUT_B" ]);
+  check bool "equake" true (lo (Equake.build ()) = [ "POS" ])
+
+let test_intermediates () =
+  let p = Conv2d.build () in
+  check bool "A is intermediate" true (List.mem "A" (Prog.intermediate_arrays p));
+  check bool "B is input-only" false (List.mem "B" (Prog.intermediate_arrays p))
+
+let test_domain_cards () =
+  let p = Conv2d.build ~h:10 ~w:8 ~kh:3 ~kw:3 () in
+  check int "S0" 80 (Prog.domain_card p (Prog.find_stmt p "S0"));
+  check int "S1" 48 (Prog.domain_card p (Prog.find_stmt p "S1"));
+  check int "S2" (48 * 9) (Prog.domain_card p (Prog.find_stmt p "S2"))
+
+(* every workload's naive execution stays in bounds (the interpreter
+   checks every access) and touches every live-out array *)
+let test_naive_in_bounds () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = e.Registry.small () in
+      let v = Exp_util.naive p in
+      let mem = Cpu_model.run_to_memory p v.Exp_util.ast in
+      List.iter
+        (fun a ->
+          let data = Interp.read_array mem a in
+          let nonzero = Array.exists (fun x -> x <> 0.0) data in
+          check bool (e.Registry.reg_name ^ ":" ^ a) true nonzero)
+        p.Prog.live_out)
+    Registry.all
+
+let test_equake_sizes () =
+  check int "test" 4096 (Equake.size_nodes Equake.Test);
+  check int "train" 8192 (Equake.size_nodes Equake.Train);
+  check int "ref" 16384 (Equake.size_nodes Equake.Ref)
+
+let test_resnet_blocks () =
+  let blocks = Resnet.default_blocks () in
+  check int "sixteen blocks" 16 (List.length blocks);
+  (* channel growth at stage boundaries *)
+  let b0 = List.nth blocks 0 and b4 = List.nth blocks 4 in
+  check bool "channels grow" true (b4.Resnet.c_in > b0.Resnet.c_in);
+  (* chaining invariant: next input extent = previous output extent *)
+  List.iteri
+    (fun i b ->
+      if i > 0 then begin
+        let prev = List.nth blocks (i - 1) in
+        check int "spatial chain" (prev.Resnet.height - 2) b.Resnet.height
+      end)
+    blocks;
+  check bool "unit kinds" true
+    (Resnet.unit_kind "conv_l0" = Npu_model.Cube
+    && Resnet.unit_kind "bn_l0" = Npu_model.Vector)
+
+let test_competitor_stage_tables () =
+  (* the manual-schedule tables reference real stage names *)
+  List.iter
+    (fun name ->
+      let p = (Registry.find name).Registry.small () in
+      let any_fused =
+        List.exists
+          (fun (s : Prog.stmt) ->
+            Competitors.halide_fused_stages p.Prog.prog_name s.Prog.stmt_name)
+          p.Prog.stmts
+      in
+      check bool (name ^ " has fused stages") true any_fused)
+    [ "unsharp_mask"; "harris"; "bilateral_grid"; "camera_pipeline";
+      "local_laplacian"; "multiscale_interp"
+    ]
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "registry",
+        [ Alcotest.test_case "validate all" `Quick test_registry_valid;
+          Alcotest.test_case "find" `Quick test_registry_find
+        ] );
+      ( "structure",
+        [ Alcotest.test_case "stage counts" `Quick test_stage_counts;
+          Alcotest.test_case "live-out" `Quick test_live_out;
+          Alcotest.test_case "intermediates" `Quick test_intermediates;
+          Alcotest.test_case "domain sizes" `Quick test_domain_cards;
+          Alcotest.test_case "equake sizes" `Quick test_equake_sizes;
+          Alcotest.test_case "resnet blocks" `Quick test_resnet_blocks;
+          Alcotest.test_case "halide stage tables" `Quick test_competitor_stage_tables
+        ] );
+      ( "execution",
+        [ Alcotest.test_case "naive in bounds" `Slow test_naive_in_bounds ] )
+    ]
