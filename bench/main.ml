@@ -7,6 +7,8 @@
      bench/main.exe table1 fig8 ... run selected experiments
      bench/main.exe passes          Bechamel micro-benchmarks of the
                                     compilation flows
+     bench/main.exe profile         per-workload/flow pass-counter
+                                    breakdown (lib/obs instrumentation)
      bench/main.exe verify          semantic cross-check of all versions *)
 
 let bechamel_passes () =
@@ -60,6 +62,57 @@ let bechamel_passes () =
         tbl)
     results
 
+(* Per-workload/flow counter breakdown through the lib/obs
+   instrumentation: compile every registered workload (reduced size)
+   with the start-up heuristic flow and the paper's full flow, and
+   print the dominant pass counters so a regression in pass cost shows
+   up as a diff between benchmark runs. *)
+let profile () =
+  let counters =
+    [ ("fm.elim", "fm.eliminate");
+      ("fm.empty", "fm.is_empty");
+      ("bmap.apply", "bmap.apply_range");
+      ("deps", "deps.edges");
+      ("steps", "fusion.search_steps");
+      ("fuse+", "fusion.fuse_accept");
+      ("exts", "tile_shapes.extensions")
+    ]
+  in
+  let header =
+    [ "workload"; "flow"; "compile ms" ] @ List.map fst counters
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let run_flow flow_name compile =
+        Obs.reset ();
+        Obs.enable ();
+        let p = e.Registry.small () in
+        let t0 = Unix.gettimeofday () in
+        (try compile p
+         with exn ->
+           Printf.eprintf "profile: %s/%s failed: %s\n" e.Registry.reg_name
+             flow_name (Printexc.to_string exn));
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let row =
+          [ e.Registry.reg_name; flow_name; Printf.sprintf "%.1f" ms ]
+          @ List.map
+              (fun (_, c) -> string_of_int (Obs.counter_value c))
+              counters
+        in
+        Obs.disable ();
+        rows := row :: !rows
+      in
+      run_flow "smartfuse" (fun p ->
+          ignore
+            (Core.Pipeline.run_heuristic ~target:Core.Pipeline.Cpu
+               Fusion.Smartfuse p));
+      run_flow "ours" (fun p ->
+          ignore (Core.Pipeline.run ~target:Core.Pipeline.Cpu p)))
+    Registry.all;
+  Exp_util.section "Pass profile: counters per workload/flow (small sizes)";
+  Exp_util.print_table ~header (List.rev !rows)
+
 let experiments =
   [ ("table1", Paper_experiments.table1);
     ("fig8", Paper_experiments.fig8);
@@ -70,7 +123,8 @@ let experiments =
     ("compile_time", Paper_experiments.compile_time);
     ("ablations", Ablations.run_all);
     ("verify", Paper_experiments.verify);
-    ("passes", bechamel_passes)
+    ("passes", bechamel_passes);
+    ("profile", profile)
   ]
 
 let () =

@@ -45,6 +45,45 @@ let version_of flow ~tile prog =
   | F_polymage -> Exp_util.polymage_version ~tile ~target:Core.Pipeline.Cpu prog
   | F_halide -> Exp_util.halide_version ~tile ~target:Core.Pipeline.Cpu prog
 
+(* --stats / --trace FILE observability flags (plus the MEMCOMP_TRACE
+   env fallback). Instrumentation is off unless one of them is given,
+   so the default output stays byte-identical. *)
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observability breakdown (per-phase wall times, pass \
+           counters, histograms) after the command.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the nested compiler-phase \
+           spans (load in about://tracing or Perfetto). The MEMCOMP_TRACE \
+           environment variable is used as a fallback destination.")
+
+let obs_begin ~stats ~trace =
+  let trace =
+    match trace with Some _ -> trace | None -> Sys.getenv_opt "MEMCOMP_TRACE"
+  in
+  if stats || trace <> None then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
+  fun () ->
+    (match trace with
+    | Some file -> (
+        match Obs.write_chrome_trace file with
+        | () -> Printf.eprintf "trace written to %s\n%!" file
+        | exception Sys_error msg ->
+            Printf.eprintf "warning: could not write trace: %s\n%!" msg)
+    | None -> ());
+    if stats then print_string (Obs.stats_table ())
+
 let workload_arg =
   Arg.(
     required
@@ -79,7 +118,8 @@ let compile_cmd =
   let show_tree =
     Arg.(value & flag & info [ "tree" ] ~doc:"Print the schedule tree.")
   in
-  let run workload tile small flow tree_flag =
+  let run workload tile small flow tree_flag stats trace =
+    let finish = obs_begin ~stats ~trace in
     let prog = prog_of workload small in
     let v = version_of flow ~tile prog in
     Printf.printf "workload %s, flow %s (compiled in %.3fs)\n\n" workload
@@ -90,18 +130,22 @@ let compile_cmd =
     | true, Exp_util.Baseline (b, _) ->
         print_endline (Schedule_tree.to_string b.Core.Pipeline.b_tree)
     | _ -> ());
-    print_endline (Ast.to_string v.Exp_util.ast)
+    print_endline (Ast.to_string v.Exp_util.ast);
+    finish ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc)
-    Term.(const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ show_tree)
+    Term.(
+      const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ show_tree
+      $ stats_arg $ trace_arg)
 
 let run_cmd =
   let doc = "Compile and execute a workload through the trace-driven CPU model." in
   let threads =
     Arg.(value & opt int 32 & info [ "j"; "threads" ] ~docv:"N" ~doc:"Thread count.")
   in
-  let run workload tile small flow threads =
+  let run workload tile small flow threads stats trace =
+    let finish = obs_begin ~stats ~trace in
     let prog = prog_of workload small in
     let v = version_of flow ~tile prog in
     let report = Exp_util.cpu_profile prog v in
@@ -116,15 +160,19 @@ let run_cmd =
     Printf.printf "  DRAM        %d\n" report.Cpu_model.dram;
     Printf.printf "  modelled    %.3f ms at %d threads\n"
       (Exp_util.cpu_time_ms prog v ~threads)
-      threads
+      threads;
+    finish ()
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ threads)
+    Term.(
+      const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ threads
+      $ stats_arg $ trace_arg)
 
 let compare_cmd =
   let doc = "Compare all flows on one workload (model times + semantics)." in
-  let run workload tile small =
+  let run workload tile small stats trace =
+    let finish = obs_begin ~stats ~trace in
     let prog = prog_of workload small in
     let reference = Exp_util.naive prog in
     let flows =
@@ -147,11 +195,12 @@ let compare_cmd =
     in
     Exp_util.print_table
       ~header:[ "flow"; "1t (ms)"; "32t (ms)"; "compile (s)"; "semantics" ]
-      rows
+      rows;
+    finish ()
   in
   Cmd.v
     (Cmd.info "compare" ~doc)
-    Term.(const run $ workload_arg $ tile_arg $ small_arg)
+    Term.(const run $ workload_arg $ tile_arg $ small_arg $ stats_arg $ trace_arg)
 
 let () =
   let doc =

@@ -393,6 +393,7 @@ and gen_band ctx active band child =
               in
               { ctx with enforced = common @ ctx.enforced }
         in
+        Obs.count "codegen.loops";
         Ast.For
           { var = new_names.(j);
             lb;
@@ -406,6 +407,7 @@ and gen_band ctx active band child =
   end
 
 let generate (p : Prog.t) tree =
+  Obs.span "codegen.generate" @@ fun () ->
   let ctx =
     { prog = p;
       params = Array.of_list (Prog.param_names p);

@@ -22,10 +22,14 @@ let default_sizes ~tile_size (s : Spaces.t) =
    parallelism-preserving heuristic at statement granularity. *)
 let run ?(startup = Fusion.Smartfuse) ?(tile_size = 32) ?tile_sizes_for
     ?fuse_reductions ?fusable ?recompute_limit ~target prog =
-  let deps = Deps.compute prog in
+  Obs.span "pipeline.compile" @@ fun () ->
+  Obs.count "pipeline.compiles";
+  let deps = Obs.span "pipeline.deps" (fun () -> Deps.compute prog) in
   let cap = parallelism_cap target in
   let result =
-    Fusion.schedule ?fuse_reductions prog ~deps ~target_parallelism:cap startup
+    Obs.span "pipeline.startup_fusion" (fun () ->
+        Fusion.schedule ?fuse_reductions prog ~deps ~target_parallelism:cap
+          startup)
   in
   let spaces = Spaces.of_result prog result in
   let tile_sizes_for =
@@ -34,10 +38,17 @@ let run ?(startup = Fusion.Smartfuse) ?(tile_size = 32) ?tile_sizes_for
     | None -> default_sizes ~tile_size
   in
   let plan =
-    Post_tiling.plan prog ~spaces ~tile_sizes_for ~parallelism_cap:cap ?fusable
-      ?recompute_limit
+    Obs.span "pipeline.post_tiling" (fun () ->
+        Post_tiling.plan prog ~spaces ~tile_sizes_for ~parallelism_cap:cap
+          ?fusable ?recompute_limit)
   in
-  let tree = Post_tiling.to_tree prog ~spaces plan in
+  let tree =
+    Obs.span "pipeline.tree" (fun () -> Post_tiling.to_tree prog ~spaces plan)
+  in
+  Obs.add "pipeline.search_steps" result.Fusion.search_steps;
+  Obs.add "pipeline.fusion_groups" (List.length result.Fusion.groups);
+  Obs.add "pipeline.fused_spaces"
+    (List.length (List.concat_map (fun r -> r.Post_tiling.fused_ids) plan.Post_tiling.roots));
   { prog;
     deps;
     spaces;
@@ -72,11 +83,17 @@ let tiled_tree (p : Prog.t) (r : Fusion.result) ~tile_size =
 
 let run_heuristic ?(tile_size = 32) ?max_steps ?fuse_reductions ~target
     heuristic prog =
-  let deps = Deps.compute prog in
+  Obs.span "pipeline.compile_heuristic" @@ fun () ->
+  let deps = Obs.span "pipeline.deps" (fun () -> Deps.compute prog) in
   let cap = parallelism_cap target in
   let result =
-    Fusion.schedule ?max_steps ?fuse_reductions prog ~deps
-      ~target_parallelism:cap heuristic
+    Obs.span "pipeline.startup_fusion" (fun () ->
+        Fusion.schedule ?max_steps ?fuse_reductions prog ~deps
+          ~target_parallelism:cap heuristic)
   in
-  let tree = tiled_tree prog result ~tile_size in
+  let tree =
+    Obs.span "pipeline.tree" (fun () -> tiled_tree prog result ~tile_size)
+  in
+  Obs.add "pipeline.search_steps" result.Fusion.search_steps;
+  Obs.add "pipeline.fusion_groups" (List.length result.Fusion.groups);
   { b_prog = prog; b_result = result; b_tree = tree }

@@ -44,6 +44,7 @@ let rec unfuse_from (t : Tile_shapes.tiling) id =
 
 let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
     ~spaces ~tile_sizes_for ~parallelism_cap =
+  Obs.span "post_tiling.plan" @@ fun () ->
   let liveouts = List.filter (fun (s : Spaces.t) -> s.Spaces.live_out) spaces in
   let fused_status = Hashtbl.create 16 in
   (* claimed space -> list of liveout ids that fused it *)
@@ -52,8 +53,12 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
   let processed_roots = ref [] in
   let is_claimed id = Hashtbl.mem fused_status id in
   let run_root (s : Spaces.t) =
+    Obs.count "post_tiling.roots_run";
     processed_roots := !processed_roots @ [ s.Spaces.id ];
-    if not (tilable s ~parallelism_cap) then standalone := !standalone @ [ s.Spaces.id ]
+    if not (tilable s ~parallelism_cap) then begin
+      Obs.count "post_tiling.standalone";
+      standalone := !standalone @ [ s.Spaces.id ]
+    end
     else begin
       (* shared intermediates are deliberately offered to every root
          (Algorithm 3 computes one extension schedule per use and then
@@ -86,6 +91,7 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
      fused space must itself be covered by the fusion), then promote
      still-unclaimed spaces to roots. *)
   let unfuse_everywhere id =
+    Obs.count "post_tiling.unfuse";
     Hashtbl.iter
       (fun root_id t ->
         let t' = unfuse_from t id in
@@ -229,6 +235,7 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
                 standalone := !standalone @ [ s.Spaces.id ])
               unclaimed
         | _ :: _ ->
+            Obs.add "post_tiling.promotions" (List.length promotable);
             List.iter run_root promotable;
             fixpoint ()
   in
@@ -327,6 +334,7 @@ let root_subtree (p : Prog.t) ~spaces (r : root) =
         ("kernel", Schedule_tree.Band (tile_band_of r.tiling liveout, body)) )
 
 let to_tree (p : Prog.t) ~spaces (pl : plan) =
+  Obs.span "post_tiling.to_tree" @@ fun () ->
   let domain =
     Build_tree.stmt_filter p (List.map (fun s -> s.Prog.stmt_name) p.Prog.stmts)
   in

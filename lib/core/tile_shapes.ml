@@ -95,6 +95,7 @@ module Fmap = Map.Make (String)
 
 let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
     ~intermediates ~tile_sizes ~parallelism_cap =
+  Obs.span "tile_shapes.construct" @@ fun () ->
   let g = liveout.Spaces.group in
   assert (Array.length tile_sizes = g.Fusion.band_dims);
   let tile_space = Printf.sprintf "T%d" liveout.Spaces.id in
@@ -155,10 +156,12 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
     | Some space ->
         let pending = List.filter (fun (s : Spaces.t) -> s.Spaces.id <> space.Spaces.id) pending in
         let n = Fusion.n_parallel space.Spaces.group in
-        if m > n then
+        if m > n then begin
           (* the m > n guard: fusing would destroy the live-out space's
              parallelism; reject (line 8). *)
+          Obs.count "tile_shapes.parallelism_reject";
           loop fmap pending extensions (space.Spaces.id :: untiled)
+        end
         else begin
           let via_arrays, parents =
             List.fold_left
@@ -218,6 +221,7 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
                        an extension schedule; it stays in the original
                        nest together with its exclusive producers (the
                        paper's equake case). *)
+                    Obs.count "tile_shapes.guard_blocked";
                     stmt_loop fmap
                       (List.filter (fun s -> s <> name) remaining)
                       (name :: blocked) ext_pieces
@@ -232,12 +236,14 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
                         (Imap.apply_range_approx f
                            (Imap.of_bmap (Bmap.reverse write_rel)))
                     in
-                    if recompute_ratio p stmt ext_s > recompute_limit then
+                    if recompute_ratio p stmt ext_s > recompute_limit then begin
                       (* fusing this statement would recompute it nearly
                          wholesale in every tile: reject (cost model) *)
+                      Obs.count "tile_shapes.recompute_reject";
                       stmt_loop fmap
                         (List.filter (fun s -> s <> name) remaining)
                         (name :: blocked) ext_pieces
+                    end
                     else begin
                     let remaining = List.filter (fun s -> s <> name) remaining in
                     (* expose the data this statement reads *)
@@ -272,9 +278,12 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
           let fmap, ext_pieces =
             stmt_loop fmap space.Spaces.group.Fusion.stmts [] []
           in
-          if ext_pieces = [] then
+          if ext_pieces = [] then begin
+            Obs.count "tile_shapes.untiled";
             loop fmap pending extensions (space.Spaces.id :: untiled)
+          end
           else begin
+            Obs.count "tile_shapes.extensions";
             let ext_rel = Imap.coalesce (Imap.of_bmaps ext_pieces) in
             let extension =
               { space_id = space.Spaces.id; ext_rel; via_arrays; parents }

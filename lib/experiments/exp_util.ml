@@ -115,9 +115,12 @@ let cpu_profile (p : Prog.t) v =
   ignore p.Prog.prog_name;
   let key = v.uid in
   match Hashtbl.find_opt profile_cache key with
-  | Some r -> r
+  | Some r ->
+      Obs.count "exp.profile_cache.hits";
+      r
   | None ->
-      let r = Cpu_model.profile p v.ast in
+      Obs.count "exp.profile_cache.misses";
+      let r = Obs.span "exp.cpu_profile" (fun () -> Cpu_model.profile p v.ast) in
       Hashtbl.replace profile_cache key r;
       r
 

@@ -53,10 +53,12 @@ let probe level ~line =
   match find 0 with
   | Some w ->
       level.hits <- level.hits + 1;
+      if Obs.is_enabled () then Obs.count ("cache." ^ level.config.name ^ ".hits");
       level.ages.(base + w) <- level.tick;
       true
   | None ->
       level.misses <- level.misses + 1;
+      if Obs.is_enabled () then Obs.count ("cache." ^ level.config.name ^ ".misses");
       (* evict LRU way *)
       let victim = ref 0 in
       for w = 1 to level.config.assoc - 1 do
@@ -68,10 +70,12 @@ let probe level ~line =
 
 let access t ~addr ~write =
   ignore write;
+  Obs.count "cache.accesses";
   let rec go levels =
     match levels with
     | [] ->
         t.dram <- t.dram + 1;
+        Obs.count "cache.dram";
         t.dram_latency
     | level :: rest ->
         let line = addr / level.config.line_bytes in

@@ -76,6 +76,7 @@ let flat_index (s : array_store) ~array idxs =
   !flat
 
 let run ?observer (p : Prog.t) ast mem =
+  Obs.span "interp.run" @@ fun () ->
   let stats =
     { instances = 0;
       ops = 0;
@@ -155,6 +156,10 @@ let run ?observer (p : Prog.t) ast mem =
         exec_call stmt (List.map (Ast.eval_expr ~params ~env) args)
   in
   exec [] ast;
+  Obs.add "interp.instances" stats.instances;
+  Obs.add "interp.reads" stats.reads;
+  Obs.add "interp.writes" stats.writes;
+  Obs.add "interp.ops" stats.ops;
   stats
 
 let arrays_equal ?(eps = 1e-6) m1 m2 name =

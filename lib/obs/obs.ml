@@ -1,0 +1,342 @@
+(* Compiler-wide observability: hierarchical timed spans, monotonic
+   counters and log-scale histograms, with three exporters (human stats
+   table, machine JSON, Chrome trace_event JSON).
+
+   Everything is off by default: each entry point starts with a single
+   flag load and branch, so instrumented hot paths (FM elimination,
+   cache probes, ...) pay essentially nothing when observability is
+   disabled.
+
+   Counter naming scheme: dotted lowercase [layer.entity[.metric]],
+   e.g. "fm.eliminate", "bmap.apply_range", "cache.L1.hits",
+   "pipeline.search_steps". Span names follow the same scheme and
+   nest naturally ("pipeline.compile" > "pipeline.deps" >
+   "deps.compute" > ...). *)
+
+let enabled = ref false
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_stat = {
+  mutable calls : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+let n_buckets = 32
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+      (* bucket 0: v < 1; bucket i >= 1: 2^(i-1) <= v < 2^i (log2 scale) *)
+}
+
+type event = {
+  ev_name : string;
+  ev_start_s : float;  (* relative to the epoch set by [reset] *)
+  ev_dur_s : float;
+  ev_depth : int;
+}
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let span_stats : (string, span_stat) Hashtbl.t = Hashtbl.create 64
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+(* Completed spans in reverse completion order, capped so a runaway
+   compile cannot exhaust memory through its own instrumentation. *)
+let events : event list ref = ref []
+
+let n_events = ref 0
+
+let max_events = 1_000_000
+
+let depth = ref 0
+
+let now () = Unix.gettimeofday ()
+
+let epoch = ref (now ())
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset span_stats;
+  Hashtbl.reset histograms;
+  events := [];
+  n_events := 0;
+  depth := 0;
+  epoch := now ()
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add name n =
+  if !enabled then
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counters name (ref n)
+
+let count name = add name 1
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let counters_alist () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else begin
+    let rec go i x = if x < 2.0 || i >= n_buckets - 1 then i else go (i + 1) (x /. 2.0) in
+    go 1 v
+  end
+
+let observe name v =
+  if !enabled then begin
+    let h =
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            { h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+              h_buckets = Array.make n_buckets 0
+            }
+          in
+          Hashtbl.add histograms name h;
+          h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+let observe_int name v = observe name (float_of_int v)
+
+let histogram_summary name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> Some (h.h_count, h.h_sum, h.h_min, h.h_max)
+  | None -> None
+
+let histograms_alist () =
+  Hashtbl.fold
+    (fun name h acc -> (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc)
+    histograms []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let record_span name start_abs dur =
+  (match Hashtbl.find_opt span_stats name with
+  | Some s ->
+      s.calls <- s.calls + 1;
+      s.total_s <- s.total_s +. dur;
+      if dur > s.max_s then s.max_s <- dur
+  | None -> Hashtbl.add span_stats name { calls = 1; total_s = dur; max_s = dur });
+  if !n_events < max_events then begin
+    events :=
+      { ev_name = name;
+        ev_start_s = start_abs -. !epoch;
+        ev_dur_s = dur;
+        ev_depth = !depth
+      }
+      :: !events;
+    incr n_events
+  end
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let start = now () in
+    incr depth;
+    let finish () =
+      decr depth;
+      record_span name start (now () -. start)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let span_calls name =
+  match Hashtbl.find_opt span_stats name with Some s -> s.calls | None -> 0
+
+let span_total_s name =
+  match Hashtbl.find_opt span_stats name with Some s -> s.total_s | None -> 0.0
+
+let spans_alist () =
+  Hashtbl.fold
+    (fun name s acc -> (name, (s.calls, s.total_s, s.max_s)) :: acc)
+    span_stats []
+  |> List.sort (fun (_, (_, ta, _)) (_, (_, tb, _)) -> compare tb ta)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stats_table () =
+  let b = Buffer.create 4096 in
+  let spans = spans_alist () in
+  if spans <> [] then begin
+    Buffer.add_string b "== spans (wall time per pass) ==\n";
+    let w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 4 spans
+    in
+    Buffer.add_string b
+      (Printf.sprintf "  %-*s %10s %12s %12s %12s\n" w "name" "calls"
+         "total ms" "mean us" "max us");
+    List.iter
+      (fun (name, (calls, total, mx)) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-*s %10d %12.3f %12.1f %12.1f\n" w name calls
+             (total *. 1e3)
+             (total /. float_of_int (max 1 calls) *. 1e6)
+             (mx *. 1e6)))
+      spans
+  end;
+  let cs = counters_alist () in
+  if cs <> [] then begin
+    Buffer.add_string b "== counters ==\n";
+    let w = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 4 cs in
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-*s %12d\n" w name v))
+      cs
+  end;
+  let hs = histograms_alist () in
+  if hs <> [] then begin
+    Buffer.add_string b "== histograms ==\n";
+    let w = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 4 hs in
+    Buffer.add_string b
+      (Printf.sprintf "  %-*s %10s %12s %10s %10s %10s\n" w "name" "count" "sum"
+         "min" "mean" "max");
+    List.iter
+      (fun (name, (count, sum, mn, mx)) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-*s %10d %12.0f %10.1f %10.1f %10.1f\n" w name
+             count sum mn
+             (sum /. float_of_int (max 1 count))
+             mx))
+      hs
+  end;
+  if spans = [] && cs = [] && hs = [] then
+    Buffer.add_string b "(no observability data recorded)\n";
+  Buffer.contents b
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let stats_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"spans\":{";
+  List.iteri
+    (fun i (name, (calls, total, mx)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"calls\":%d,\"total_s\":%s,\"max_s\":%s}"
+           (escape_json name) calls (json_float total) (json_float mx)))
+    (spans_alist ());
+  Buffer.add_string b "},\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (escape_json name) v))
+    (counters_alist ());
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i (name, (count, sum, mn, mx)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+           (escape_json name) count (json_float sum) (json_float mn)
+           (json_float mx)))
+    (histograms_alist ());
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* Chrome trace_event format: complete ("X") events with microsecond
+   timestamps, loadable in about://tracing or https://ui.perfetto.dev.
+   Counters ride along as one final "C" event so they are visible in the
+   trace viewer too. *)
+let chrome_trace () =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"memcomp\"}}";
+  let last_ts = ref 0.0 in
+  List.iter
+    (fun e ->
+      let ts = e.ev_start_s *. 1e6 in
+      if ts +. (e.ev_dur_s *. 1e6) > !last_ts then
+        last_ts := ts +. (e.ev_dur_s *. 1e6);
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"%s\",\"cat\":\"pass\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d}}"
+           (escape_json e.ev_name) ts (e.ev_dur_s *. 1e6) e.ev_depth))
+    (List.rev !events);
+  let cs = counters_alist () in
+  if cs <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf
+         ",{\"name\":\"counters\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"args\":{"
+         !last_ts);
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (escape_json name) v))
+      cs;
+    Buffer.add_string b "}}"
+  end;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ()))

@@ -22,6 +22,7 @@ let same_element (src_stmt : Prog.stmt) (src_acc : Prog.access)
   Bmap.apply_range src_rel (Bmap.reverse dst_rel)
 
 let dep_pieces ~same_stmt (src_stmt : Prog.stmt) src_acc dst_stmt dst_acc =
+  Obs.count "deps.pair_tests";
   let base = same_element src_stmt src_acc dst_stmt dst_acc in
   if Bmap.is_empty base then []
   else if not same_stmt then [ base ]
@@ -34,11 +35,17 @@ let dep_pieces ~same_stmt (src_stmt : Prog.stmt) src_acc dst_stmt dst_acc =
       (Imap.pieces order)
 
 let compute (p : Prog.t) =
+  Obs.span "deps.compute" @@ fun () ->
   let stmts = Array.of_list p.Prog.stmts in
   let n = Array.length stmts in
   let deps = ref [] in
   let add kind src dst array pieces =
-    if pieces <> [] then
+    if pieces <> [] then begin
+      Obs.count "deps.edges";
+      (match kind with
+      | Raw -> Obs.count "deps.raw"
+      | War -> Obs.count "deps.war"
+      | Waw -> Obs.count "deps.waw");
       deps :=
         { kind;
           src = src.Prog.stmt_name;
@@ -47,6 +54,7 @@ let compute (p : Prog.t) =
           rel = Imap.of_bmaps pieces
         }
         :: !deps
+    end
   in
   for i = 0 to n - 1 do
     for j = i to n - 1 do

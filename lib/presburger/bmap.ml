@@ -59,6 +59,7 @@ let same_map_space (a : Space.map_space) (b : Space.map_space) =
   && Array.length a.out_dims = Array.length b.out_dims
 
 let intersect a b =
+  Obs.count "bmap.intersect";
   let a, b = unify_params a b in
   assert (same_map_space a.space b.space);
   of_set_view a.space (Bset.intersect (to_set_view a) (to_set_view b))
@@ -141,6 +142,7 @@ let domain_approx m =
   Bset.set_tuple s m.space.Space.in_tuple
 
 let apply_range_gen ~exact r s =
+  Obs.count "bmap.apply_range";
   let r, s = unify_params r s in
   assert (r.space.Space.out_tuple = s.space.Space.in_tuple);
   assert (n_out r = n_in s);
@@ -166,10 +168,12 @@ let apply_range_approx r s =
   with Fm.Inexact _ -> apply_range_gen ~exact:false r s
 
 let apply_set s m =
+  Obs.count "bmap.apply_set";
   let restricted = intersect_domain m s in
   range restricted
 
 let preimage_set s m =
+  Obs.count "bmap.preimage_set";
   let restricted = intersect_range m s in
   domain restricted
 

@@ -55,9 +55,13 @@ let rename_dims s names =
   assert (Array.length names = n_dims s);
   { s with space = { s.space with Space.dims = names } }
 
-let is_empty s = Fm.is_empty ~nvars:(width s) s.cstrs
+let is_empty s =
+  Obs.count "bset.is_empty";
+  Obs.observe_int "bset.cstrs" (List.length s.cstrs);
+  Fm.is_empty ~nvars:(width s) s.cstrs
 
 let intersect a b =
+  Obs.count "bset.intersect";
   let a, b = unify_params a b in
   assert (Space.same_set_space a.space b.space);
   match Fm.dedup (a.cstrs @ b.cstrs) with
@@ -65,6 +69,7 @@ let intersect a b =
   | Some cstrs -> { a with cstrs }
 
 let is_subset a b =
+  Obs.count "bset.is_subset";
   let a, b = unify_params a b in
   assert (Space.same_set_space a.space b.space);
   List.for_all
@@ -72,6 +77,7 @@ let is_subset a b =
     b.cstrs
 
 let subtract a b =
+  Obs.count "bset.subtract";
   let a, b = unify_params a b in
   assert (Space.same_set_space a.space b.space);
   (* Expand equalities of b into pairs of inequalities so negation is a
@@ -101,6 +107,7 @@ let subtract a b =
 let project_dims_gen ~exact s ~first ~count =
   if count = 0 then s
   else begin
+    Obs.count "bset.project";
     assert (first >= 0 && first + count <= n_dims s);
     let np = n_params s in
     let vars = List.init count (fun i -> np + first + i) in
@@ -257,6 +264,7 @@ let card_by_enum s =
   !n
 
 let card s =
+  Obs.count "bset.card";
   assert (n_params s = 0);
   if is_empty s then 0
   else if n_dims s = 0 then 1

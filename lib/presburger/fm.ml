@@ -106,6 +106,8 @@ let pair_shadow ~exact ~var (l : Cstr.t) (u : Cstr.t) : Cstr.t =
            (Printf.sprintf "FM pair with coefficients %d,%d on var %d" a b var))
 
 let eliminate ~exact ~var cstrs =
+  Obs.count "fm.eliminate";
+  Obs.observe_int "fm.system_size" (List.length cstrs);
   (* Prefer an equality mentioning var, the one with the smallest
      |coefficient|. *)
   let eq_candidates =
@@ -289,6 +291,7 @@ let iter_points_by_enum ~nvars cstrs f =
 let all_vars nvars = List.init nvars (fun i -> i)
 
 let is_empty ~nvars cstrs =
+  Obs.count "fm.is_empty";
   match dedup cstrs with
   | None -> true
   | Some cstrs -> (
@@ -397,10 +400,12 @@ let sample_exact ~nvars cstrs =
        with Infeasible -> None)
 
 let sample ~nvars cstrs =
+  Obs.count "fm.sample";
   try sample_exact ~nvars cstrs
   with Inexact _ -> find_point_by_enum ~nvars cstrs
 
 let implies ~nvars cstrs (c : Cstr.t) =
+  Obs.count "fm.implies";
   match c.Cstr.kind with
   | Cstr.Ge -> is_empty ~nvars (Cstr.negate_ge c :: cstrs)
   | Cstr.Eq ->

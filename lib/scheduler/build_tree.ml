@@ -95,6 +95,7 @@ let group_subtree ?only (p : Prog.t) (g : Fusion.group) ~name =
   Schedule_tree.Filter (stmt_filter p stmts, body)
 
 let initial_tree (p : Prog.t) (r : Fusion.result) =
+  Obs.span "scheduler.initial_tree" @@ fun () ->
   let domain = stmt_filter p (List.map (fun s -> s.Prog.stmt_name) p.Prog.stmts) in
   let children =
     List.mapi

@@ -284,6 +284,7 @@ let merge_nest_atoms (p : Prog.t) atoms =
 
 let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
     ~deps ~target_parallelism heuristic =
+  Obs.span "fusion.schedule" @@ fun () ->
   let steps = ref 0 in
   let budget_exceeded = ref false in
   let atoms = merge_nest_atoms p (Deps.sccs p deps) in
@@ -295,6 +296,7 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
       atoms
   in
   let try_merge prev g =
+    Obs.count "fusion.merge_attempts";
     let stmts = prev.stmts @ g.stmts in
     steps := !steps + (List.length stmts * List.length stmts);
     match heuristic with
@@ -354,9 +356,15 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
             | [] -> [ g ]
             | prev :: rest -> (
                 match try_merge prev g with
-                | Some merged -> merged :: rest
-                | None -> g :: prev :: rest))
+                | Some merged ->
+                    Obs.count "fusion.fuse_accept";
+                    merged :: rest
+                | None ->
+                    Obs.count "fusion.fuse_reject";
+                    g :: prev :: rest))
           [] atom_groups
         |> List.rev
   in
+  Obs.add "fusion.search_steps" !steps;
+  Obs.add "fusion.groups" (List.length groups);
   { groups; search_steps = !steps; budget_exceeded = !budget_exceeded }

@@ -205,6 +205,38 @@ let test_no_redundant_and_complete () =
 
 
 (* ------------------------------------------------------------------ *)
+(* Observability: a conv2d compile reports its pass counters           *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs_counters () =
+  Obs.reset ();
+  Obs.enable ();
+  let c = Core.Pipeline.run ~target:Core.Pipeline.Cpu ~tile_size:2 (Conv2d.build ()) in
+  Obs.disable ();
+  check bool "nonzero deps counter" true (Obs.counter_value "deps.edges" > 0);
+  check bool "nonzero FM elimination counter" true
+    (Obs.counter_value "fm.eliminate" > 0);
+  check bool "nonzero emptiness-test counter" true
+    (Obs.counter_value "fm.is_empty" > 0);
+  check bool "nonzero Bmap.apply counter" true
+    (Obs.counter_value "bmap.apply_range" > 0);
+  check int "search steps exposed through stats"
+    c.Core.Pipeline.search_steps
+    (Obs.counter_value "pipeline.search_steps");
+  check bool "fusion decisions counted" true
+    (Obs.counter_value "fusion.fuse_accept"
+     + Obs.counter_value "fusion.fuse_reject"
+    > 0);
+  check bool "extension insertions counted" true
+    (Obs.counter_value "tile_shapes.extensions" > 0);
+  check bool "pipeline phases timed" true
+    (Obs.span_calls "pipeline.compile" = 1
+    && Obs.span_calls "deps.compute" >= 1
+    && Obs.span_calls "fusion.schedule" >= 1
+    && Obs.span_calls "tile_shapes.construct" >= 1);
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* Computation spaces                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,5 +328,9 @@ let () =
         [ Alcotest.test_case "tree has extension" `Quick test_tree_shape;
           Alcotest.test_case "skipped and kernel marks" `Quick test_tree_marks;
           Alcotest.test_case "coverage without gaps" `Quick test_no_redundant_and_complete
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "compile reports pass counters" `Quick
+            test_obs_counters
         ] )
     ]
