@@ -9,7 +9,15 @@
                                     compilation flows
      bench/main.exe profile         per-workload/flow pass-counter
                                     breakdown (lib/obs instrumentation)
-     bench/main.exe verify          semantic cross-check of all versions *)
+     bench/main.exe verify          semantic cross-check of all versions
+     bench/main.exe snapshot --out FILE [--workloads a,b,c] [--small]
+                             [--seed N] [--label L]
+                                    write a BENCH_*.json perf snapshot
+                                    (one record per workload x flow)
+     bench/main.exe regress --base FILE --cand FILE [--max-time-ratio R]
+                            [--time-floor S] [--json]
+                                    diff two snapshots; exit 1 on
+                                    regression (the CI gate), 2 on error *)
 
 let bechamel_passes () =
   let open Bechamel in
@@ -113,6 +121,191 @@ let profile () =
   Exp_util.section "Pass profile: counters per workload/flow (small sizes)";
   Exp_util.print_table ~header (List.rev !rows)
 
+(* ------------------------------------------------------------------ *)
+(* snapshot / regress: the perf-snapshot and regression-gate commands  *)
+(* ------------------------------------------------------------------ *)
+
+let usage_error msg =
+  Printf.eprintf "bench: %s\n" msg;
+  exit 2
+
+(* The two compilation flows every snapshot covers: the start-up
+   heuristic alone, and the paper's full post-tiling-fusion flow. *)
+let snapshot_flows =
+  [ ( "smartfuse",
+      fun p ->
+        Exp_util.heuristic ~target:Core.Pipeline.Cpu Fusion.Smartfuse p );
+    ("ours", fun p -> Exp_util.ours ~target:Core.Pipeline.Cpu p)
+  ]
+
+(* Compile one workload with one flow under full instrumentation and
+   freeze the result. The cache/interp counters come from the trace-
+   driven CPU profile, the traffic volumes from the polyhedral
+   footprint model, so a snapshot captures compile-side and machine-
+   side behaviour at once. *)
+let collect_one ~small (e : Registry.entry) (flow_name, compile) =
+  Obs.reset ();
+  Obs.enable ();
+  let finish () = Obs.disable () in
+  match
+    let p = if small then e.Registry.small () else e.Registry.build () in
+    let v = compile p in
+    let report = Exp_util.cpu_profile p v in
+    let clusters = Exp_util.clusters p v in
+    let traffic = Footprints.program_traffic p clusters in
+    let cache_levels =
+      List.map
+        (fun (l : Cache.level_stats) ->
+          { Snapshot.cl_name = l.Cache.level;
+            cl_hits = l.Cache.hits;
+            cl_misses = l.Cache.misses
+          })
+        report.Cpu_model.cache
+    in
+    Snapshot.capture ~workload:e.Registry.reg_name ~flow:flow_name
+      ~compile_s:v.Exp_util.compile_s ~cache_levels
+      ~dram_accesses:report.Cpu_model.dram
+      ~traffic:
+        { Snapshot.tr_read_bytes = traffic.Footprints.read_bytes;
+          tr_write_bytes = traffic.Footprints.write_bytes;
+          tr_staged_bytes = Footprints.max_staged_bytes p clusters
+        }
+      ~ast:
+        { Snapshot.ast_loops = Ast.count_loops v.Exp_util.ast;
+          ast_kernels = List.length (Ast.kernels v.Exp_util.ast);
+          ast_nodes = Ast.count_nodes v.Exp_util.ast
+        }
+      ()
+  with
+  | snap ->
+      finish ();
+      Some snap
+  | exception exn ->
+      finish ();
+      Printf.eprintf "snapshot: %s/%s failed: %s\n%!" e.Registry.reg_name
+        flow_name (Printexc.to_string exn);
+      None
+
+let snapshot_cmd args =
+  let out = ref None in
+  let workloads = ref None in
+  let small = ref false in
+  let label = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: f :: rest ->
+        out := Some f;
+        parse rest
+    | "--workloads" :: ws :: rest ->
+        workloads := Some (String.split_on_char ',' ws);
+        parse rest
+    | "--small" :: rest ->
+        small := true;
+        parse rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> Random_pipeline.set_registry_seed s
+        | None -> usage_error (Printf.sprintf "--seed expects an integer, got %S" n));
+        parse rest
+    | "--label" :: l :: rest ->
+        label := Some l;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "snapshot: unknown argument %s" a)
+  in
+  parse args;
+  let out =
+    match !out with
+    | Some f -> f
+    | None -> usage_error "snapshot: --out FILE is required"
+  in
+  let entries =
+    match !workloads with
+    | None -> Registry.all
+    | Some names -> List.map Registry.find names
+  in
+  let label =
+    match !label with
+    | Some l -> l
+    | None ->
+        (* BENCH_<label>.json -> <label>; otherwise the basename *)
+        let base = Filename.remove_extension (Filename.basename out) in
+        if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+          String.sub base 6 (String.length base - 6)
+        else base
+  in
+  let snapshots =
+    List.concat_map
+      (fun e -> List.filter_map (collect_one ~small:!small e) snapshot_flows)
+      entries
+  in
+  let expected = List.length entries * List.length snapshot_flows in
+  Bench_db.save out (Bench_db.make ~label snapshots);
+  Printf.printf "wrote %d/%d snapshots (%d workloads x %d flows%s) to %s\n"
+    (List.length snapshots) expected (List.length entries)
+    (List.length snapshot_flows)
+    (if !small then ", small sizes" else "")
+    out;
+  if List.length snapshots < expected then exit 1
+
+let regress_cmd args =
+  let base = ref None in
+  let cand = ref None in
+  let thresholds = ref Bench_db.default_thresholds in
+  let json = ref false in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> usage_error (Printf.sprintf "%s expects a number, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--base" :: f :: rest ->
+        base := Some f;
+        parse rest
+    | "--cand" :: f :: rest ->
+        cand := Some f;
+        parse rest
+    | "--max-time-ratio" :: r :: rest ->
+        thresholds :=
+          { !thresholds with
+            Bench_db.max_time_ratio = float_arg "--max-time-ratio" r
+          };
+        parse rest
+    | "--time-floor" :: s :: rest ->
+        thresholds :=
+          { !thresholds with Bench_db.time_floor_s = float_arg "--time-floor" s };
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "regress: unknown argument %s" a)
+  in
+  parse args;
+  let required name r =
+    match !r with
+    | Some f -> f
+    | None -> usage_error (Printf.sprintf "regress: %s FILE is required" name)
+  in
+  let base_file = required "--base" base in
+  let cand_file = required "--cand" cand in
+  let load name file =
+    match Bench_db.load file with
+    | Ok db -> db
+    | Error msg -> usage_error (Printf.sprintf "%s: %s" name msg)
+  in
+  let base_db = load "--base" base_file in
+  let cand_db = load "--cand" cand_file in
+  let deltas =
+    Bench_db.diff ~thresholds:!thresholds ~base:base_db ~cand:cand_db ()
+  in
+  if !json then print_endline (Bench_db.deltas_json ~thresholds:!thresholds deltas)
+  else begin
+    Printf.printf "regress: %s (%s) -> %s (%s)\n" base_db.Bench_db.label
+      base_db.Bench_db.created cand_db.Bench_db.label cand_db.Bench_db.created;
+    print_string (Bench_db.summary_table deltas)
+  end;
+  exit (Bench_db.gate deltas)
+
 let experiments =
   [ ("table1", Paper_experiments.table1);
     ("fig8", Paper_experiments.fig8);
@@ -135,6 +328,8 @@ let () =
         "Reproduction of 'Optimizing the Memory Hierarchy by Compositing\n\
          Automatic Transformations on Computations and Data' (MICRO 2020)";
       Paper_experiments.run_all ()
+  | "snapshot" :: rest -> snapshot_cmd rest
+  | "regress" :: rest -> regress_cmd rest
   | names ->
       List.iter
         (fun n ->

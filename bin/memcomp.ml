@@ -170,7 +170,10 @@ let run_cmd =
       $ stats_arg $ trace_arg)
 
 let compare_cmd =
-  let doc = "Compare all flows on one workload (model times + semantics)." in
+  let doc =
+    "Compare all flows on one workload (model times + semantics); exits \
+     nonzero if any flow's live-out values mismatch the naive reference."
+  in
   let run workload tile small stats trace =
     let finish = obs_begin ~stats ~trace in
     let prog = prog_of workload small in
@@ -181,22 +184,30 @@ let compare_cmd =
         F_halide; F_ours
       ]
     in
+    let mismatches = ref [] in
     let rows =
       List.map
         (fun f ->
           let v = version_of f ~tile prog in
+          let ok = Exp_util.check_against prog reference v in
+          if not ok then mismatches := v.Exp_util.ver_name :: !mismatches;
           [ v.Exp_util.ver_name;
             Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:1);
             Printf.sprintf "%.3f" (Exp_util.cpu_time_ms prog v ~threads:32);
             Printf.sprintf "%.2f" v.Exp_util.compile_s;
-            (if Exp_util.check_against prog reference v then "ok" else "MISMATCH")
+            (if ok then "ok" else "MISMATCH")
           ])
         flows
     in
     Exp_util.print_table
       ~header:[ "flow"; "1t (ms)"; "32t (ms)"; "compile (s)"; "semantics" ]
       rows;
-    finish ()
+    finish ();
+    if !mismatches <> [] then begin
+      Printf.eprintf "compare: semantic mismatch on %s (flows: %s)\n%!" workload
+        (String.concat ", " (List.rev !mismatches));
+      Stdlib.exit 1
+    end
   in
   Cmd.v
     (Cmd.info "compare" ~doc)

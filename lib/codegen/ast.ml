@@ -150,6 +150,13 @@ let rec count_loops = function
   | Kernel (_, t) -> count_loops t
   | Call _ | Nop -> 0
 
+let rec count_nodes = function
+  | For { body; _ } -> 1 + count_nodes body
+  | If (_, body) -> 1 + count_nodes body
+  | Block ts -> 1 + List.fold_left (fun acc t -> acc + count_nodes t) 0 ts
+  | Kernel (_, t) -> 1 + count_nodes t
+  | Call _ | Nop -> 1
+
 let kernels ast =
   let acc = ref [] in
   let rec go = function

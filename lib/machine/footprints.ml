@@ -304,6 +304,19 @@ let cluster_traffic (p : Prog.t) ~previous (c : cluster) =
     (written_arrays p c);
   { read_bytes = !read_bytes; write_bytes = !write_bytes }
 
+let program_traffic (p : Prog.t) clusters =
+  let rec go prev acc = function
+    | [] -> acc
+    | c :: rest ->
+        let t = cluster_traffic p ~previous:prev c in
+        go (prev @ [ c ])
+          { read_bytes = acc.read_bytes + t.read_bytes;
+            write_bytes = acc.write_bytes + t.write_bytes
+          }
+          rest
+  in
+  go [] { read_bytes = 0; write_bytes = 0 } clusters
+
 let staged_bytes (p : Prog.t) (c : cluster) =
   (* maximum over tiles of the staged-array footprints ~ footprint of an
      interior tile; approximate with total staged elements / tile count,
@@ -327,3 +340,6 @@ let staged_bytes (p : Prog.t) (c : cluster) =
       in
       acc + (per_tile * elem_bytes))
     0 c.staged_arrays
+
+let max_staged_bytes (p : Prog.t) clusters =
+  List.fold_left (fun acc c -> max acc (staged_bytes p c)) 0 clusters

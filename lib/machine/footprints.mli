@@ -49,3 +49,13 @@ val cluster_traffic : Prog.t -> previous:cluster list -> cluster -> traffic
 val staged_bytes : Prog.t -> cluster -> int
 (** On-chip bytes needed per tile for the staged arrays (maximum over
     tiles of the staged footprints). *)
+
+val program_traffic : Prog.t -> cluster list -> traffic
+(** Total off-chip traffic of an ordered cluster list: sums
+    {!cluster_traffic} with the running prefix as [previous], so
+    write-back of intermediates read by later clusters is charged
+    exactly once. *)
+
+val max_staged_bytes : Prog.t -> cluster list -> int
+(** Largest per-tile on-chip staging requirement over the clusters (the
+    scratchpad high-water mark, a footprint-volume snapshot metric). *)

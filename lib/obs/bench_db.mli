@@ -1,0 +1,76 @@
+(** [BENCH_<label>.json] snapshot databases and the metric-by-metric
+    regression diff behind [bench/main.exe regress].
+
+    A database is a labelled, timestamped list of {!Snapshot.t} (one per
+    workload x flow). {!diff} pairs two databases by workload x flow,
+    flattens each snapshot into named scalar metrics, and classifies
+    every delta:
+
+    - {e time} metrics (compile wall time, span totals) are ratio-gated
+      with a noise floor — both sides are clamped up to
+      [time_floor_s] first, so sub-floor jitter never gates;
+    - {e counter} metrics (pass counters, cache hits/misses, traffic
+      bytes, AST sizes) compare exactly: the compiler is deterministic,
+      any increase is a regression and any decrease an improvement.
+      Intentional changes are absorbed by refreshing the baseline;
+    - a workload x flow pair present in the base but missing from the
+      candidate is a regression; a pair only in the candidate is
+      reported as added but does not gate. *)
+
+type t = { label : string; created : string; snapshots : Snapshot.t list }
+
+val schema_version : int
+(** Version of the database file format (checked by {!load}). *)
+
+val make : label:string -> Snapshot.t list -> t
+(** Stamp a database with the current UTC time. *)
+
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+
+(** {1 Diff} *)
+
+type kind = Time | Counter
+
+type classification = Improved | Unchanged | Regressed | Added | Removed
+
+type delta = {
+  d_workload : string;
+  d_flow : string;
+  d_metric : string;
+  d_kind : kind;
+  d_base : float;
+  d_cand : float;
+  d_class : classification;
+}
+
+type thresholds = {
+  max_time_ratio : float;  (** time metric regresses beyond this ratio *)
+  time_floor_s : float;  (** noise floor: shorter times never gate *)
+}
+
+val default_thresholds : thresholds
+(** [{ max_time_ratio = 2.0; time_floor_s = 0.1 }] *)
+
+val classify_time : thresholds -> base:float -> cand:float -> classification
+
+val classify_counter : base:int -> cand:int -> classification
+
+val diff : ?thresholds:thresholds -> base:t -> cand:t -> unit -> delta list
+
+val regressions : delta list -> delta list
+
+val gate : delta list -> int
+(** [0] when no delta is classified {!Regressed}, [1] otherwise — the
+    exit-code contract of [bench/main.exe regress]. *)
+
+(** {1 Rendering} *)
+
+val summary_table : delta list -> string
+(** Human-readable diff: one row per non-unchanged metric plus a
+    summary count line. *)
+
+val deltas_json : ?thresholds:thresholds -> delta list -> string
+(** Machine-readable diff (thresholds, summary counts, non-unchanged
+    deltas) for the [--json] flag. *)

@@ -1,0 +1,461 @@
+(* Perf snapshots: one typed record per workload x flow, covering the
+   compile-side signals (wall time, per-pass span totals, obs counters)
+   and the machine-model signals (simulated cache hits/misses, footprint
+   traffic volumes, generated-AST size), with a versioned JSON
+   (de)serialization that needs no external dependencies.
+
+   A snapshot is pure data: the metric values from lib/machine and
+   lib/codegen are computed by the collector (bench/main.ml) and passed
+   in, so this module stays at the bottom of the dependency graph next
+   to Obs. Only [capture] reads live Obs state. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON: enough for the snapshot schema, exact float           *)
+(* round-tripping via %.17g.                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* %.17g round-trips every finite double exactly; integral values
+     print without an exponent so counters stay readable. *)
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec add buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool true -> Buffer.add_string buf "true"
+    | Bool false -> Buffer.add_string buf "false"
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Arr l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            add buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            add buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let b = Buffer.create 1024 in
+    add b j;
+    Buffer.contents b
+
+  exception Bad of string
+
+  let parse_exn (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when d = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let hex_digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape"
+    in
+    let add_utf8 b code =
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some '"' -> Buffer.add_char b '"'; advance ()
+            | Some '\\' -> Buffer.add_char b '\\'; advance ()
+            | Some '/' -> Buffer.add_char b '/'; advance ()
+            | Some 'b' -> Buffer.add_char b '\b'; advance ()
+            | Some 'f' -> Buffer.add_char b '\012'; advance ()
+            | Some 'n' -> Buffer.add_char b '\n'; advance ()
+            | Some 'r' -> Buffer.add_char b '\r'; advance ()
+            | Some 't' -> Buffer.add_char b '\t'; advance ()
+            | Some 'u' ->
+                advance ();
+                let code = ref 0 in
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some c ->
+                      code := (!code * 16) + hex_digit c;
+                      advance ()
+                  | None -> fail "truncated \\u escape"
+                done;
+                add_utf8 b !code
+            | _ -> fail "bad escape");
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> Num f
+      | None -> fail (Printf.sprintf "bad number %S" text)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elems []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('0' .. '9' | '-') -> parse_number ()
+      | _ -> fail "unexpected character"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let parse s = try Ok (parse_exn s) with Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot record                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = 1
+
+type span = { sp_name : string; sp_calls : int; sp_total_s : float }
+
+type cache_level = { cl_name : string; cl_hits : int; cl_misses : int }
+
+type traffic = {
+  tr_read_bytes : int;
+  tr_write_bytes : int;
+  tr_staged_bytes : int;
+}
+
+type ast_stats = { ast_loops : int; ast_kernels : int; ast_nodes : int }
+
+type t = {
+  workload : string;
+  flow : string;
+  compile_s : float;
+  spans : span list;
+  counters : (string * int) list;
+  cache_levels : cache_level list;
+  dram_accesses : int;
+  traffic : traffic;
+  ast : ast_stats;
+}
+
+let capture ~workload ~flow ~compile_s ~cache_levels ~dram_accesses ~traffic
+    ~ast () =
+  let spans =
+    Obs.spans_alist ()
+    |> List.map (fun (name, (calls, total_s, _max_s)) ->
+           { sp_name = name; sp_calls = calls; sp_total_s = total_s })
+    |> List.sort (fun a b -> compare a.sp_name b.sp_name)
+  in
+  { workload;
+    flow;
+    compile_s;
+    spans;
+    counters = Obs.counters_alist ();
+    cache_levels;
+    dram_accesses;
+    traffic;
+    ast
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON (de)serialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let num i = Json.Num (float_of_int i)
+
+let to_json s =
+  Json.Obj
+    [ ("workload", Json.Str s.workload);
+      ("flow", Json.Str s.flow);
+      ("compile_s", Json.Num s.compile_s);
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun sp ->
+               ( sp.sp_name,
+                 Json.Obj
+                   [ ("calls", num sp.sp_calls);
+                     ("total_s", Json.Num sp.sp_total_s)
+                   ] ))
+             s.spans) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) s.counters));
+      ( "cache",
+        Json.Obj
+          [ ( "levels",
+              Json.Arr
+                (List.map
+                   (fun l ->
+                     Json.Obj
+                       [ ("name", Json.Str l.cl_name);
+                         ("hits", num l.cl_hits);
+                         ("misses", num l.cl_misses)
+                       ])
+                   s.cache_levels) );
+            ("dram", num s.dram_accesses)
+          ] );
+      ( "traffic",
+        Json.Obj
+          [ ("read_bytes", num s.traffic.tr_read_bytes);
+            ("write_bytes", num s.traffic.tr_write_bytes);
+            ("staged_bytes", num s.traffic.tr_staged_bytes)
+          ] );
+      ( "ast",
+        Json.Obj
+          [ ("loops", num s.ast.ast_loops);
+            ("kernels", num s.ast.ast_kernels);
+            ("nodes", num s.ast.ast_nodes)
+          ] )
+    ]
+
+let to_string s = Json.to_string (to_json s)
+
+(* of_json: spelled with a tiny error monad so every failure names the
+   missing/ill-typed field. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_str name = function
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let as_num name = function
+  | Json.Num f -> Ok f
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let as_int name j =
+  let* f = as_num name j in
+  Ok (int_of_float f)
+
+let str_field name j =
+  let* v = field name j in
+  as_str name v
+
+let num_field name j =
+  let* v = field name j in
+  as_num name v
+
+let int_field name j =
+  let* v = field name j in
+  as_int name v
+
+let of_json j =
+  let* workload = str_field "workload" j in
+  let* flow = str_field "flow" j in
+  let* compile_s = num_field "compile_s" j in
+  let* spans_j = field "spans" j in
+  let* spans =
+    match spans_j with
+    | Json.Obj fields ->
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            let* calls = int_field "calls" v in
+            let* total_s = num_field "total_s" v in
+            Ok ({ sp_name = name; sp_calls = calls; sp_total_s = total_s } :: acc))
+          (Ok []) fields
+        |> Result.map List.rev
+    | _ -> Error "field \"spans\" is not an object"
+  in
+  let* counters_j = field "counters" j in
+  let* counters =
+    match counters_j with
+    | Json.Obj fields ->
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            let* n = as_int name v in
+            Ok ((name, n) :: acc))
+          (Ok []) fields
+        |> Result.map List.rev
+    | _ -> Error "field \"counters\" is not an object"
+  in
+  let* cache_j = field "cache" j in
+  let* levels_j = field "levels" cache_j in
+  let* cache_levels =
+    match levels_j with
+    | Json.Arr ls ->
+        List.fold_left
+          (fun acc l ->
+            let* acc = acc in
+            let* name = str_field "name" l in
+            let* hits = int_field "hits" l in
+            let* misses = int_field "misses" l in
+            Ok ({ cl_name = name; cl_hits = hits; cl_misses = misses } :: acc))
+          (Ok []) ls
+        |> Result.map List.rev
+    | _ -> Error "field \"cache.levels\" is not an array"
+  in
+  let* dram_accesses = int_field "dram" cache_j in
+  let* traffic_j = field "traffic" j in
+  let* read_bytes = int_field "read_bytes" traffic_j in
+  let* write_bytes = int_field "write_bytes" traffic_j in
+  let* staged_bytes = int_field "staged_bytes" traffic_j in
+  let* ast_j = field "ast" j in
+  let* loops = int_field "loops" ast_j in
+  let* kernels = int_field "kernels" ast_j in
+  let* nodes = int_field "nodes" ast_j in
+  Ok
+    { workload;
+      flow;
+      compile_s;
+      spans;
+      counters;
+      cache_levels;
+      dram_accesses;
+      traffic =
+        { tr_read_bytes = read_bytes;
+          tr_write_bytes = write_bytes;
+          tr_staged_bytes = staged_bytes
+        };
+      ast = { ast_loops = loops; ast_kernels = kernels; ast_nodes = nodes }
+    }
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j

@@ -1,0 +1,81 @@
+(** Perf snapshots: one typed record per {e workload x flow}, with
+    versioned, dependency-free JSON (de)serialization.
+
+    A snapshot freezes the signals the regression gate compares:
+    compile wall time, per-pass span totals and call counts (from
+    {!Obs}), every obs counter, the simulated LRU cache hits/misses and
+    DRAM accesses, polyhedral footprint traffic volumes, and
+    generated-AST size statistics. Machine-model and AST numbers are
+    computed by the collector ([bench/main.exe snapshot]) and passed in;
+    only {!capture} reads live {!Obs} state, keeping this module at the
+    bottom of the dependency graph. *)
+
+(** Minimal JSON values — parser and printer sufficient for the
+    snapshot schema. Floats print with [%.17g] so every finite double
+    round-trips exactly. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  (** Field access on [Obj]; [None] on other constructors. *)
+end
+
+val schema_version : int
+(** Version of the snapshot JSON schema; bumped on incompatible field
+    changes. Stored at the {!Bench_db} file level. *)
+
+type span = { sp_name : string; sp_calls : int; sp_total_s : float }
+
+type cache_level = { cl_name : string; cl_hits : int; cl_misses : int }
+
+type traffic = {
+  tr_read_bytes : int;  (** off-chip bytes read (per footprint model) *)
+  tr_write_bytes : int;  (** off-chip bytes written back *)
+  tr_staged_bytes : int;  (** max on-chip bytes staged per tile *)
+}
+
+type ast_stats = { ast_loops : int; ast_kernels : int; ast_nodes : int }
+
+type t = {
+  workload : string;
+  flow : string;
+  compile_s : float;  (** wall-clock of the whole compilation flow *)
+  spans : span list;  (** per-pass totals, sorted by name *)
+  counters : (string * int) list;  (** all obs counters, sorted by name *)
+  cache_levels : cache_level list;
+  dram_accesses : int;
+  traffic : traffic;
+  ast : ast_stats;
+}
+
+val capture :
+  workload:string ->
+  flow:string ->
+  compile_s:float ->
+  cache_levels:cache_level list ->
+  dram_accesses:int ->
+  traffic:traffic ->
+  ast:ast_stats ->
+  unit ->
+  t
+(** Build a snapshot from the current {!Obs} state (spans and counters
+    recorded since the last [Obs.reset]) plus the supplied machine-model
+    and AST metrics. Call while observability is still enabled. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

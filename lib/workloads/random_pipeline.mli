@@ -17,6 +17,14 @@ type config = {
 
 val default_config : config
 
+val registry_seed : int ref
+(** Seed used by the registry's ["fuzz_pipeline"] workload (default 1).
+    Override with [--seed N] on [bench/main.exe snapshot] (or
+    {!set_registry_seed}) so fuzz-workload snapshot counters are
+    reproducible; the seed in effect is recorded in failure messages. *)
+
+val set_registry_seed : int -> unit
+
 val generate : config -> seed:int -> Prog.t
 (** Deterministic in [seed]. The final stage's array is live-out; every
     stage reads one or two previously generated arrays with random

@@ -66,6 +66,23 @@ let all =
       build = (fun () -> Jacobi.build ~n:4096 ~steps:6 ());
       small = (fun () -> Jacobi.build ~n:64 ~steps:3 ())
     };
+    { reg_name = "fuzz_pipeline";
+      description =
+        "random pipeline from the differential-testing generator \
+         (deterministic in Random_pipeline.registry_seed; --seed N)";
+      build =
+        (fun () ->
+          Random_pipeline.generate
+            { Random_pipeline.default_config with
+              Random_pipeline.max_stages = 8;
+              Random_pipeline.max_extent = 40
+            }
+            ~seed:!Random_pipeline.registry_seed);
+      small =
+        (fun () ->
+          Random_pipeline.generate Random_pipeline.default_config
+            ~seed:!Random_pipeline.registry_seed)
+    };
     { reg_name = "resnet50";
       description = "ResNet-50 forward layer chain (NPU workload)";
       build = (fun () -> Resnet.build ());

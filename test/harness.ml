@@ -1,0 +1,20 @@
+(* Shared Alcotest entry point for every test binary: instrumentation is
+   recorded for the whole run, and when the suite fails the lib/obs
+   stats table (per-pass wall times, pass counters, histograms) is
+   printed to stderr before exiting nonzero — so a CI `dune runtest`
+   failure shows where the failing binary spent its time without a
+   rerun.
+
+   Individual tests remain free to reset/enable/disable Obs themselves
+   (test_obs and test_core do); the harness only sets the initial state
+   and reads whatever survives to the point of failure. *)
+
+let run ?argv name suites =
+  Obs.reset ();
+  Obs.enable ();
+  match Alcotest.run ?argv ~and_exit:false name suites with
+  | () -> ()
+  | exception e ->
+      Printf.eprintf "\n== obs stats for failing test binary %S ==\n%s%!" name
+        (Obs.stats_table ());
+      (match e with Alcotest.Test_error -> exit 1 | e -> raise e)

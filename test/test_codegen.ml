@@ -148,7 +148,7 @@ let test_odd_tile_sizes () =
     [ 3; 5; 7 ]
 
 let () =
-  Alcotest.run "codegen"
+  Harness.run "codegen"
     [ ( "expressions",
         [ Alcotest.test_case "simplify" `Quick test_simplify;
           Alcotest.test_case "eval" `Quick test_eval

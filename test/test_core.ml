@@ -301,7 +301,7 @@ let test_self_dep_count () =
   check int "ordered update pairs" (elems * (9 * 8 / 2)) pairs
 
 let () =
-  Alcotest.run "core"
+  Harness.run "core"
     [ ( "deps",
         [ Alcotest.test_case "producer edges" `Quick test_deps_edges;
           Alcotest.test_case "reduction self-dep" `Quick test_self_dep;

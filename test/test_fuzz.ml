@@ -3,10 +3,40 @@
    This exercises the full stack (dependences, heuristics, Algorithms
    1-3, code generation, interpreter) on shapes no hand-written
    benchmark covers: random DAGs with fan-out, mixed stencil radii,
-   floor-division sampling and reductions. *)
+   floor-division sampling and reductions.
+
+   Seeds are offset by --seed N (stripped before Alcotest sees argv) or
+   the FUZZ_SEED environment variable, so a failing run reproduces from
+   the seed printed in its failure message alone:
+     dune exec test/test_fuzz.exe -- --seed 1000 *)
 
 let check = Alcotest.check
 let bool = Alcotest.bool
+
+(* --seed N / FUZZ_SEED: base offset added to every generator seed. *)
+let base_seed, argv =
+  let env_seed =
+    match Sys.getenv_opt "FUZZ_SEED" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None ->
+            Printf.eprintf "fuzz: ignoring non-integer FUZZ_SEED=%S\n" s;
+            0)
+    | None -> 0
+  in
+  let rec strip acc seed = function
+    | [] -> (seed, List.rev acc)
+    | "--seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some s -> strip acc s rest
+        | None ->
+            Printf.eprintf "fuzz: --seed expects an integer, got %S\n" n;
+            exit 2)
+    | a :: rest -> strip (a :: acc) seed rest
+  in
+  let seed, args = strip [] env_seed (Array.to_list Sys.argv) in
+  (seed, Array.of_list args)
 
 let flows p =
   [ Exp_util.heuristic ~tile:5 ~target:Core.Pipeline.Cpu Fusion.Minfuse p;
@@ -31,11 +61,14 @@ let run_seed cfg seed =
 let batch name cfg seeds =
   Alcotest.test_case name `Slow (fun () -> List.iter (run_seed cfg) seeds)
 
-let seeds lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+let seeds lo hi = List.init (hi - lo + 1) (fun i -> base_seed + lo + i)
 
 let () =
+  if base_seed <> 0 then
+    Printf.printf "fuzz: seed offset %d (reproduce with --seed %d)\n%!"
+      base_seed base_seed;
   let open Random_pipeline in
-  Alcotest.run "fuzz"
+  Harness.run ~argv "fuzz"
     [ ( "pipelines",
         [ batch "1d basic"
             { default_config with two_d = false; allow_sampling = false;

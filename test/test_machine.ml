@@ -51,6 +51,62 @@ let test_cache_reset () =
   let lat = Cache.access c ~addr:0 ~write:false in
   check int "cold again" 101 lat
 
+(* A fixed pseudo-random address trace (LCG, seeded): the same accesses
+   replayed against every hierarchy under test. *)
+let fixed_trace =
+  let state = ref 12345 in
+  List.init 4000 (fun _ ->
+      state := (!state * 1103515245 + 12347) land 0x3FFFFFFF;
+      !state mod 16384)
+
+let replay cache =
+  List.iter (fun addr -> ignore (Cache.access cache ~addr ~write:false)) fixed_trace
+
+let test_cache_conservation () =
+  (* Every access either hits or misses at each level, and an inclusive
+     hierarchy forwards exactly its misses to the level below. *)
+  let c = Cache.xeon_like () in
+  replay c;
+  let expected = ref (List.length fixed_trace) in
+  List.iter
+    (fun (l : Cache.level_stats) ->
+      check int
+        (Printf.sprintf "%s hits+misses = accesses reaching it" l.Cache.level)
+        !expected (l.Cache.hits + l.Cache.misses);
+      expected := l.Cache.misses)
+    (Cache.stats c);
+  check int "DRAM sees the last level's misses" !expected (Cache.dram_accesses c)
+
+let test_cache_miss_monotone () =
+  (* Shrinking an LRU cache by dropping ways (fixed set count) can only
+     lose residency — the stack/inclusion property — so misses on the
+     same trace are monotone nondecreasing as capacity shrinks. *)
+  let misses_at assoc =
+    let c =
+      Cache.create
+        ~levels:
+          [ { Cache.name = "L1"; size_bytes = 64 * 16 * assoc; line_bytes = 64;
+              assoc; latency = 1 }
+          ]
+        ~dram_latency:100
+    in
+    replay c;
+    match Cache.stats c with
+    | [ l1 ] -> l1.Cache.misses
+    | _ -> Alcotest.fail "one level expected"
+  in
+  let ms = List.map misses_at [ 8; 4; 2; 1 ] in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check bool
+    (Printf.sprintf "misses nondecreasing as cache shrinks (%s)"
+       (String.concat " <= " (List.map string_of_int ms)))
+    true (monotone ms);
+  check bool "smallest cache strictly worse than largest" true
+    (List.nth ms 3 > List.nth ms 0)
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -129,13 +185,8 @@ let test_fusion_reduces_traffic () =
   in
   let cs_unfused = Footprints.clusters_of_baseline ~tile_size:4 unfused in
   let total cs =
-    let rec go prev = function
-      | [] -> 0
-      | c :: rest ->
-          let t = Footprints.cluster_traffic conv16 ~previous:prev c in
-          t.Footprints.read_bytes + t.Footprints.write_bytes + go (prev @ [ c ]) rest
-    in
-    go [] cs
+    let t = Footprints.program_traffic conv16 cs in
+    t.Footprints.read_bytes + t.Footprints.write_bytes
   in
   check bool "fusion reduces off-chip traffic" true
     (total (Footprints.clusters_of_compiled compiled16) < total cs_unfused)
@@ -188,11 +239,13 @@ let test_npu_conv_bn_fusion () =
   check bool "speedup within a plausible band" true (s /. o > 1.05 && s /. o < 4.0)
 
 let () =
-  Alcotest.run "machine"
+  Harness.run "machine"
     [ ( "cache",
         [ Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
           Alcotest.test_case "LRU" `Quick test_cache_lru;
-          Alcotest.test_case "reset" `Quick test_cache_reset
+          Alcotest.test_case "reset" `Quick test_cache_reset;
+          Alcotest.test_case "conservation" `Quick test_cache_conservation;
+          Alcotest.test_case "miss monotonicity" `Quick test_cache_miss_monotone
         ] );
       ( "interp",
         [ Alcotest.test_case "bounds checking" `Quick test_interp_bounds;

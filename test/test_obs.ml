@@ -345,7 +345,7 @@ let test_stats_table () =
   check bool "table lists histograms" true (contains "some.hist")
 
 let () =
-  Alcotest.run "obs"
+  Harness.run "obs"
     [ ( "modes",
         [ Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop ] );
       ( "counters",

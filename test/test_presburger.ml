@@ -508,7 +508,7 @@ let qcheck_cases =
     ]
 
 let () =
-  Alcotest.run "presburger"
+  Harness.run "presburger"
     [ ( "vec",
         [ Alcotest.test_case "gcd and division" `Quick test_vec ] );
       ( "cstr",

@@ -135,7 +135,7 @@ let test_search_steps_ordering () =
     (rmax.Fusion.search_steps > rmin.Fusion.search_steps)
 
 let () =
-  Alcotest.run "scheduler"
+  Harness.run "scheduler"
     [ ( "conv2d",
         [ Alcotest.test_case "SCC order" `Quick test_scc_order;
           Alcotest.test_case "maxfuse shifts" `Quick test_shifts_maxfuse;

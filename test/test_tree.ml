@@ -252,7 +252,7 @@ let test_emit_cce () =
   check bool "dma" true (contains src "dma DDR")
 
 let () =
-  Alcotest.run "tree"
+  Harness.run "tree"
     [ ( "schedule-tree",
         [ Alcotest.test_case "floor div map" `Quick test_floor_div_map;
           Alcotest.test_case "tile band" `Quick test_tile_band;

@@ -108,7 +108,7 @@ let test_competitor_stage_tables () =
     ]
 
 let () =
-  Alcotest.run "workloads"
+  Harness.run "workloads"
     [ ( "registry",
         [ Alcotest.test_case "validate all" `Quick test_registry_valid;
           Alcotest.test_case "find" `Quick test_registry_find
