@@ -94,6 +94,7 @@ let profile () =
     (fun (e : Registry.entry) ->
       let run_flow flow_name compile =
         Obs.reset ();
+        Presburger.Fm_cache.reset ();
         Obs.enable ();
         let p = e.Registry.small () in
         let t0 = Unix.gettimeofday () in
@@ -145,6 +146,7 @@ let snapshot_flows =
    side behaviour at once. *)
 let collect_one ~small (e : Registry.entry) (flow_name, compile) =
   Obs.reset ();
+  Presburger.Fm_cache.reset ();
   Obs.enable ();
   let finish () = Obs.disable () in
   match

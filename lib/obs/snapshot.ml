@@ -7,7 +7,14 @@
    A snapshot is pure data: the metric values from lib/machine and
    lib/codegen are computed by the collector (bench/main.ml) and passed
    in, so this module stays at the bottom of the dependency graph next
-   to Obs. Only [capture] reads live Obs state. *)
+   to Obs. Only [capture] reads live Obs state.
+
+   The counters map carries whatever Obs counters the run recorded —
+   since PR 3 that includes the Fm memo-cache mirror counters
+   (fm.cache.<name>.hit/.miss/.evict and the fm.cache.hit/.miss/.evict
+   aggregates), so cache effectiveness is snapshotted and regression-
+   gated alongside the pass counters. The collector resets the caches
+   per workload x flow to keep them deterministic. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON: enough for the snapshot schema, exact float           *)

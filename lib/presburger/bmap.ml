@@ -3,9 +3,13 @@ type t = { space : Space.map_space; cstrs : Cstr.t list }
 let width_of_space (sp : Space.map_space) =
   Array.length sp.params + Array.length sp.in_dims + Array.length sp.out_dims
 
+(* Like Bset.make: constraint lists are canonicalized at construction
+   so structurally equal maps are pointer-comparable through the Fm
+   hash-consing layer and print deterministically. *)
 let make space cstrs =
-  List.iter (fun c -> assert (Cstr.nvars c = width_of_space space)) cstrs;
-  { space; cstrs }
+  let w = width_of_space space in
+  List.iter (fun c -> assert (Cstr.nvars c = w)) cstrs;
+  { space; cstrs = Fm.canonical ~nvars:w cstrs }
 
 let universe space = make space []
 
@@ -21,9 +25,7 @@ let width m = width_of_space m.space
 
 let space m = m.space
 
-let add_cstrs m cstrs =
-  List.iter (fun c -> assert (Cstr.nvars c = width m)) cstrs;
-  { m with cstrs = cstrs @ m.cstrs }
+let add_cstrs m cstrs = make m.space (cstrs @ m.cstrs)
 
 (* ------------------------------------------------------------------ *)
 (* Set view: reuse Bset algorithms on the flattened space               *)
@@ -309,15 +311,9 @@ let simple_hull a b =
   | None -> empty_map a.space
   | Some cstrs -> make a.space cstrs
 
-let to_string m =
+let body_string m =
   let names =
     Array.concat [ m.space.Space.params; m.space.Space.in_dims; m.space.Space.out_dims ]
-  in
-  let params =
-    if n_params m = 0 then ""
-    else
-      Printf.sprintf "[%s] -> "
-        (String.concat ", " (Array.to_list m.space.Space.params))
   in
   let ins = String.concat ", " (Array.to_list m.space.Space.in_dims) in
   let outs = String.concat ", " (Array.to_list m.space.Space.out_dims) in
@@ -327,5 +323,14 @@ let to_string m =
       " : "
       ^ String.concat " and " (List.map (fun c -> Cstr.to_string ~names c) m.cstrs)
   in
-  Printf.sprintf "%s{ %s[%s] -> %s[%s]%s }" params m.space.Space.in_tuple ins
+  Printf.sprintf "%s[%s] -> %s[%s]%s" m.space.Space.in_tuple ins
     m.space.Space.out_tuple outs body
+
+let to_string m =
+  let params =
+    if n_params m = 0 then ""
+    else
+      Printf.sprintf "[%s] -> "
+        (String.concat ", " (Array.to_list m.space.Space.params))
+  in
+  Printf.sprintf "%s{ %s }" params (body_string m)

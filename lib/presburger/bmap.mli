@@ -4,6 +4,8 @@
 type t = private { space : Space.map_space; cstrs : Cstr.t list }
 
 val make : Space.map_space -> Cstr.t list -> t
+(** Constraints are canonicalized at construction, exactly as in
+    {!Bset.make}. *)
 
 val universe : Space.map_space -> t
 
@@ -107,3 +109,7 @@ val simple_hull : t -> t -> t
     exact when that union is convex. *)
 
 val to_string : t -> string
+
+val body_string : t -> string
+(** The piece body without braces or parameter prefix
+    ([S[i] -> A[x] : ...]); used by {!Imap.to_string}. *)

@@ -3,9 +3,15 @@ type t = { space : Space.set_space; cstrs : Cstr.t list }
 let width_of_space (sp : Space.set_space) =
   Array.length sp.params + Array.length sp.dims
 
+(* Constraint lists are canonicalized at construction (gcd-reduced,
+   deduped, sorted by Cstr.compare, contradictions collapsed to the
+   canonical false constraint): structurally equal sets print the same
+   and hash-cons to the same Fm memo key regardless of how they were
+   built. *)
 let make space cstrs =
-  List.iter (fun c -> assert (Cstr.nvars c = width_of_space space)) cstrs;
-  { space; cstrs }
+  let w = width_of_space space in
+  List.iter (fun c -> assert (Cstr.nvars c = w)) cstrs;
+  { space; cstrs = Fm.canonical ~nvars:w cstrs }
 
 let universe space = make space []
 
@@ -23,9 +29,7 @@ let space s = s.space
 
 let tuple s = s.space.Space.tuple
 
-let add_cstrs s cstrs =
-  List.iter (fun c -> assert (Cstr.nvars c = width s)) cstrs;
-  { s with cstrs = cstrs @ s.cstrs }
+let add_cstrs s cstrs = make s.space (cstrs @ s.cstrs)
 
 let align_params s new_params =
   let old_params = s.space.Space.params in
@@ -42,7 +46,7 @@ let align_params s new_params =
       done;
       { c with coef }
     in
-    { space = { s.space with params = new_params }; cstrs = List.map conv s.cstrs }
+    make { s.space with params = new_params } (List.map conv s.cstrs)
   end
 
 let unify_params a b =
@@ -64,9 +68,14 @@ let intersect a b =
   Obs.count "bset.intersect";
   let a, b = unify_params a b in
   assert (Space.same_set_space a.space b.space);
-  match Fm.dedup (a.cstrs @ b.cstrs) with
-  | None -> empty_set a.space
-  | Some cstrs -> { a with cstrs }
+  let cstrs = a.cstrs @ b.cstrs in
+  (* box-hull disjointness: unit bounds of far-apart operands already
+     contradict, skip canonicalization of the dead combined system *)
+  if Fm.box_trivially_empty ~nvars:(width a) cstrs then begin
+    Obs.count "bset.intersect.box_disjoint";
+    empty_set a.space
+  end
+  else make a.space cstrs
 
 let is_subset a b =
   Obs.count "bset.is_subset";
@@ -97,7 +106,7 @@ let subtract a b =
     | [] -> List.rev acc
     | c :: rest ->
         let piece =
-          { a with cstrs = (Cstr.negate_ge c :: established) @ a.cstrs }
+          make a.space ((Cstr.negate_ge c :: established) @ a.cstrs)
         in
         let acc = if is_empty piece then acc else piece :: acc in
         go acc (c :: established) rest
@@ -119,7 +128,7 @@ let project_dims_gen ~exact s ~first ~count =
         (Array.sub s.space.Space.dims (first + count)
            (n_dims s - first - count))
     in
-    { space = { s.space with Space.dims }; cstrs }
+    make { s.space with Space.dims } cstrs
   end
 
 let project_dims s ~first ~count = project_dims_gen ~exact:true s ~first ~count
@@ -141,7 +150,7 @@ let insert_dims s ~pos ~names =
           Array.sub s.space.Space.dims pos (n_dims s - pos)
         ]
     in
-    { space = { s.space with Space.dims }; cstrs }
+    make { s.space with Space.dims } cstrs
   end
 
 let bind_params s values =
@@ -171,7 +180,7 @@ let bind_params s values =
     done;
     { c with coef; cst = !cst }
   in
-  { space = { s.space with Space.params = keep_params }; cstrs = List.map conv s.cstrs }
+  make { s.space with Space.params = keep_params } (List.map conv s.cstrs)
 
 let affine_on_dim s d k cst kind =
   let coef = Array.make (width s) 0 in
@@ -322,14 +331,8 @@ let gist_simplify s =
 let var_names s =
   Array.append s.space.Space.params s.space.Space.dims
 
-let to_string s =
+let body_string s =
   let names = var_names s in
-  let params =
-    if n_params s = 0 then ""
-    else
-      Printf.sprintf "[%s] -> "
-        (String.concat ", " (Array.to_list s.space.Space.params))
-  in
   let dims = String.concat ", " (Array.to_list s.space.Space.dims) in
   let body =
     if s.cstrs = [] then ""
@@ -338,4 +341,13 @@ let to_string s =
       ^ String.concat " and "
           (List.map (fun c -> Cstr.to_string ~names c) s.cstrs)
   in
-  Printf.sprintf "%s{ %s[%s]%s }" params s.space.Space.tuple dims body
+  Printf.sprintf "%s[%s]%s" s.space.Space.tuple dims body
+
+let to_string s =
+  let params =
+    if n_params s = 0 then ""
+    else
+      Printf.sprintf "[%s] -> "
+        (String.concat ", " (Array.to_list s.space.Space.params))
+  in
+  Printf.sprintf "%s{ %s }" params (body_string s)

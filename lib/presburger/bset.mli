@@ -7,6 +7,10 @@
 type t = private { space : Space.set_space; cstrs : Cstr.t list }
 
 val make : Space.set_space -> Cstr.t list -> t
+(** Constraints are canonicalized at construction ({!Fm.canonical}:
+    gcd-reduced, deduped, sorted, contradictions collapsed to the
+    canonical false constraint), so structurally equal sets print
+    identically and share Fm memo-cache keys. *)
 
 val universe : Space.set_space -> t
 
@@ -101,3 +105,8 @@ val gist_simplify : t -> t
 (** Remove redundant constraints (feasibility-based). *)
 
 val to_string : t -> string
+
+val body_string : t -> string
+(** The piece body without braces or parameter prefix
+    ([S[i, j] : ...]); used by {!Iset.to_string} to print unions in
+    parser-compatible syntax. *)

@@ -4,6 +4,32 @@ type t = { kind : kind; coef : int array; cst : int }
 
 let nvars c = Array.length c.coef
 
+(* Total order used to canonicalize constraint systems: equalities
+   before inequalities, then lexicographic on the coefficient vector,
+   then on the constant. Structural, so equal constraints compare 0. *)
+let compare (a : t) (b : t) =
+  match Stdlib.compare a.kind b.kind with
+  | 0 -> (
+      match Stdlib.compare a.coef b.coef with
+      | 0 -> Stdlib.compare a.cst b.cst
+      | c -> c)
+  | c -> c
+
+let equal (a : t) (b : t) = a.kind = b.kind && a.cst = b.cst && a.coef = b.coef
+
+(* Number of nonzero coefficients, and the index of the only one when
+   there is exactly one — the shape the cheap box fast paths key on. *)
+let single_var c =
+  let idx = ref (-1) and n = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if a <> 0 then begin
+        incr n;
+        idx := i
+      end)
+    c.coef;
+  if !n = 1 then Some !idx else None
+
 let eq coef cst = { kind = Eq; coef; cst }
 
 let ge coef cst = { kind = Ge; coef; cst }

@@ -11,6 +11,16 @@ type t = { kind : kind; coef : int array; cst : int }
 
 val nvars : t -> int
 
+val compare : t -> t -> int
+(** Total order used to canonicalize constraint systems: equalities sort
+    before inequalities, then lexicographic on [coef], then [cst]. *)
+
+val equal : t -> t -> bool
+
+val single_var : t -> int option
+(** The index of the only nonzero coefficient, when exactly one
+    coefficient is nonzero (the unit-bound shape of box constraints). *)
+
 val eq : int array -> int -> t
 
 val ge : int array -> int -> t

@@ -19,7 +19,9 @@ let canon_eq (c : Cstr.t) =
   else c
 
 let dedup cstrs =
-  let tbl : (Cstr.kind * int list, int) Hashtbl.t = Hashtbl.create 16 in
+  (* keys are the coefficient arrays themselves (structural hashing
+     handles arrays): no per-constraint list copy on this hot path *)
+  let tbl : (Cstr.kind * int array, int) Hashtbl.t = Hashtbl.create 16 in
   let eqs = ref [] and ges = ref [] in
   let contradiction = ref false in
   let visit c =
@@ -28,7 +30,7 @@ let dedup cstrs =
     | Cstr.Trivial_false -> contradiction := true
     | Cstr.Keep c -> (
         let c = if c.kind = Eq then canon_eq c else c in
-        let key = (c.Cstr.kind, Array.to_list c.coef) in
+        let key = (c.Cstr.kind, c.coef) in
         match Hashtbl.find_opt tbl key with
         | None ->
             Hashtbl.add tbl key c.cst;
@@ -55,12 +57,18 @@ let dedup cstrs =
     let bad =
       List.exists
         (fun (c : Cstr.t) ->
-          match Hashtbl.find_opt tbl (Cstr.Ge, Array.to_list (Vec.scale (-1) c.coef)) with
+          match Hashtbl.find_opt tbl (Cstr.Ge, Vec.scale (-1) c.coef) with
           | Some cst' -> c.cst + cst' < 0
           | None -> false)
         !ges
     in
-    if bad then None else Some (List.rev_append !eqs (List.rev !ges))
+    if bad then None
+    else
+      (* Canonical order: equalities first, then lexicographic on the
+         coefficients. Makes dedup's output independent of the input
+         order, so memo keys built from it are order-insensitive and
+         to_string of equal systems is deterministic. *)
+      Some (List.sort Cstr.compare (List.rev_append !eqs !ges))
 
 (* ------------------------------------------------------------------ *)
 (* Elimination                                                         *)
@@ -105,9 +113,7 @@ let pair_shadow ~exact ~var (l : Cstr.t) (u : Cstr.t) : Cstr.t =
         (Inexact
            (Printf.sprintf "FM pair with coefficients %d,%d on var %d" a b var))
 
-let eliminate ~exact ~var cstrs =
-  Obs.count "fm.eliminate";
-  Obs.observe_int "fm.system_size" (List.length cstrs);
+let eliminate_uncached ~exact ~var cstrs =
   (* Prefer an equality mentioning var, the one with the smallest
      |coefficient|. *)
   let eq_candidates =
@@ -158,6 +164,96 @@ let eliminate ~exact ~var cstrs =
       List.rev_append neutral pairs
 
 let false_cstr n = Cstr.ge (Array.make n 0) (-1)
+
+(* Canonical lists are interned as physical representatives (Hc), so
+   re-canonicalizing a list that already came out of here — every
+   Bset/Bmap constructor feeds its own output back on the next
+   operation — is a single pointer-keyed probe instead of a full
+   dedup + sort. *)
+let canonical ~nvars cstrs =
+  match Hc.find_rep cstrs with
+  | Some _ -> cstrs
+  | None -> (
+      match dedup cstrs with
+      | None -> (Hc.intern_rep [ false_cstr nvars ]).Hc.sys_cstrs
+      | Some cs -> (Hc.intern_rep cs).Hc.sys_cstrs)
+
+(* ------------------------------------------------------------------ *)
+(* Cheap fast paths                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The origin satisfies every constraint: the system is non-empty
+   without any elimination. Catches universe-like systems and the many
+   footprint sets whose bounds all start at 0. *)
+let sat_at_zero cstrs =
+  List.for_all
+    (fun (c : Cstr.t) ->
+      match c.kind with Cstr.Ge -> c.cst >= 0 | Cstr.Eq -> c.cst = 0)
+    cstrs
+
+(* Per-variable bounds read off the single-variable constraints only (a
+   sound partial box hull, no elimination): when some variable's unit
+   lower bound exceeds its unit upper bound the system is empty. This is
+   the disjointness test that makes intersections of far-apart tiles
+   cheap — their box constraints contradict directly. *)
+let box_trivially_empty ~nvars cstrs =
+  let lo = Array.make nvars min_int and hi = Array.make nvars max_int in
+  let infeasible = ref false in
+  List.iter
+    (fun (c : Cstr.t) ->
+      match Cstr.single_var c with
+      | None -> ()
+      | Some v -> (
+          let a = c.coef.(v) in
+          match c.kind with
+          | Cstr.Ge ->
+              if a > 0 then lo.(v) <- max lo.(v) (Vec.ceil_div (-c.cst) a)
+              else hi.(v) <- min hi.(v) (Vec.floor_div c.cst (-a))
+          | Cstr.Eq ->
+              if c.cst mod a <> 0 then infeasible := true
+              else begin
+                let x = -c.cst / a in
+                lo.(v) <- max lo.(v) x;
+                hi.(v) <- min hi.(v) x
+              end))
+    cstrs;
+  if not !infeasible then
+    for v = 0 to nvars - 1 do
+      if lo.(v) > hi.(v) then infeasible := true
+    done;
+  !infeasible
+
+(* ------------------------------------------------------------------ *)
+(* Memoized entry points                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Caches are keyed on hash-consed system ids (Hc): structurally equal
+   systems share one id, and dedup's canonical ordering makes the id
+   insensitive to constraint order. An Inexact outcome is cached like a
+   value so repeated failing projections don't redo the pair work. *)
+
+type elim_entry = Elim_ok of Cstr.t list | Elim_inexact of string
+
+let elim_cache : (int * int * bool, elim_entry) Fm_cache.t =
+  Fm_cache.create "eliminate"
+
+let empty_cache : (int, bool) Fm_cache.t = Fm_cache.create "is_empty"
+
+let redundant_cache : (int, Cstr.t list) Fm_cache.t =
+  Fm_cache.create "remove_redundant"
+
+let eliminate ~exact ~var cstrs =
+  Obs.count "fm.eliminate";
+  Obs.observe_int "fm.system_size" (List.length cstrs);
+  let sys = Hc.intern cstrs in
+  match
+    Fm_cache.find_or_add elim_cache (sys.Hc.sys_id, var, exact) (fun () ->
+        match eliminate_uncached ~exact ~var sys.Hc.sys_cstrs with
+        | r -> Elim_ok r
+        | exception Inexact msg -> Elim_inexact msg)
+  with
+  | Elim_ok r -> r
+  | Elim_inexact msg -> raise (Inexact msg)
 
 (* Eliminate cheapest-first: variables with a unit-coefficient equality
    are free (substitution is always exact), then pure-inequality
@@ -290,11 +386,7 @@ let iter_points_by_enum ~nvars cstrs f =
 
 let all_vars nvars = List.init nvars (fun i -> i)
 
-let is_empty ~nvars cstrs =
-  Obs.count "fm.is_empty";
-  match dedup cstrs with
-  | None -> true
-  | Some cstrs -> (
+let is_empty_slow ~nvars cstrs =
       let residue =
         try `R (eliminate_many ~exact:true ~vars:(all_vars nvars) cstrs)
         with Inexact _ -> (
@@ -318,7 +410,39 @@ let is_empty ~nvars cstrs =
           List.exists
             (fun c ->
               match Cstr.simplify c with Cstr.Trivial_false -> true | _ -> false)
-            r)
+            r
+
+let is_empty_canonical ~nvars (sys : Hc.sys) =
+  match sys.Hc.sys_cstrs with
+  | [] -> false
+  | cstrs ->
+      (* cheap certificates first; full elimination (memoized) last.
+         A canonical contradiction is the lone all-zero constraint with
+         negative constant, which box_trivially_empty never sees (no
+         nonzero coefficient), so test it directly. *)
+      let contradiction =
+        match cstrs with
+        | [ (c : Cstr.t) ] ->
+            c.kind = Cstr.Ge && c.cst < 0
+            && Array.for_all (( = ) 0) c.coef
+        | _ -> false
+      in
+      if contradiction then true
+      else if sat_at_zero cstrs then false
+      else if box_trivially_empty ~nvars cstrs then true
+      else
+        Fm_cache.find_or_add empty_cache sys.Hc.sys_id (fun () ->
+            is_empty_slow ~nvars sys.Hc.sys_cstrs)
+
+let is_empty ~nvars cstrs =
+  Obs.count "fm.is_empty";
+  match Hc.find_rep cstrs with
+  | Some sys -> is_empty_canonical ~nvars sys
+  | None -> (
+      match dedup cstrs with
+      | None -> true
+      | Some [] -> false
+      | Some cstrs -> is_empty_canonical ~nvars (Hc.intern_rep cstrs))
 
 let bounds_for ~var cstrs =
   List.fold_left
@@ -404,8 +528,25 @@ let sample ~nvars cstrs =
   try sample_exact ~nvars cstrs
   with Inexact _ -> find_point_by_enum ~nvars cstrs
 
+(* [c] is syntactically entailed: it appears verbatim in the system, or
+   (for an inequality) an equality or tighter inequality on the same
+   affine form does. Sound, and avoids the emptiness test entirely for
+   the common constraint-reuse shapes of simple_hull and is_subset. *)
+let syntactically_implied cstrs (c : Cstr.t) =
+  List.exists
+    (fun (d : Cstr.t) ->
+      d.Cstr.coef = c.Cstr.coef
+      &&
+      match (d.Cstr.kind, c.Cstr.kind) with
+      | Cstr.Eq, Cstr.Eq -> d.cst = c.cst
+      | Cstr.Eq, Cstr.Ge | Cstr.Ge, Cstr.Ge -> d.cst <= c.cst
+      | Cstr.Ge, Cstr.Eq -> false)
+    cstrs
+
 let implies ~nvars cstrs (c : Cstr.t) =
   Obs.count "fm.implies";
+  if syntactically_implied cstrs c then true
+  else
   match c.Cstr.kind with
   | Cstr.Ge -> is_empty ~nvars (Cstr.negate_ge c :: cstrs)
   | Cstr.Eq ->
@@ -417,15 +558,21 @@ let implies ~nvars cstrs (c : Cstr.t) =
    -f - 1 >= 0 (f <= -1) and f - 1 >= 0 (f >= 1). *)
 
 let remove_redundant ~nvars cstrs =
+  Obs.count "fm.remove_redundant";
   match dedup cstrs with
   | None -> [ false_cstr nvars ]
+  | Some [] -> []
   | Some cstrs ->
-      let rec go kept = function
-        | [] -> List.rev kept
-        | (c : Cstr.t) :: rest ->
-            let others = List.rev_append kept rest in
-            if c.kind = Ge && (try implies ~nvars others c with Inexact _ -> false)
-            then go kept rest
-            else go (c :: kept) rest
-      in
-      go [] cstrs
+      let sys = Hc.intern cstrs in
+      Fm_cache.find_or_add redundant_cache sys.Hc.sys_id (fun () ->
+          let rec go kept = function
+            | [] -> List.rev kept
+            | (c : Cstr.t) :: rest ->
+                let others = List.rev_append kept rest in
+                if
+                  c.kind = Ge
+                  && (try implies ~nvars others c with Inexact _ -> false)
+                then go kept rest
+                else go (c :: kept) rest
+          in
+          go [] sys.Hc.sys_cstrs)

@@ -25,7 +25,19 @@ val dedup : Cstr.t list -> Cstr.t list option
 (** Cheap syntactic simplification: normalize every constraint, drop
     trivially-true ones and duplicates, keep the tightest of parallel
     inequalities. [None] when a constraint is trivially false or two
-    constraints are directly contradictory. *)
+    constraints are directly contradictory. The result is in canonical
+    order ({!Cstr.compare}: equalities first, then lexicographic), so
+    it is independent of the input order. *)
+
+val canonical : nvars:int -> Cstr.t list -> Cstr.t list
+(** {!dedup} with contradictions represented as [[false_cstr nvars]]:
+    the canonical form used at {!Bset.make}/{!Bmap.make} construction
+    and as the hash-consing key of the memo caches ({!Fm_cache}). *)
+
+val box_trivially_empty : nvars:int -> Cstr.t list -> bool
+(** Cheap sound emptiness certificate: the per-variable bounds read off
+    the single-variable constraints alone contradict ([true] implies
+    the system is empty; [false] decides nothing). No elimination. *)
 
 val eliminate : exact:bool -> var:int -> Cstr.t list -> Cstr.t list
 (** Existentially project out variable [var]. With [~exact:true], raise

@@ -1,0 +1,182 @@
+(* Bounded memo tables for the Fourier-Motzkin hot paths.
+
+   Each cache is a two-generation hashtable: inserts go to the young
+   generation; when it fills up to the capacity, the old generation is
+   dropped and the young one takes its place (a whole-generation FIFO,
+   so eviction is O(1) amortized and deterministic). A probe that hits
+   the old generation promotes the entry, giving cheap LRU-like
+   behaviour without per-entry bookkeeping.
+
+   Statistics (hits / misses / evicted entries) are kept in plain
+   mutable ints so they are always available — the test harness prints
+   them on failure even when Obs is disabled — and every event is
+   mirrored into Obs counters (fm.cache.<name>.hit / .miss / .evict
+   plus the fm.cache.hit / fm.cache.miss / fm.cache.evict aggregates)
+   so cache behaviour lands in `bench snapshot` databases and is gated
+   exactly by `bench regress`.
+
+   Knobs: MEMCOMP_FM_CACHE=0 disables memoization (the exact paths are
+   simply recomputed; results are identical by construction, which the
+   test_props differential suite enforces), MEMCOMP_FM_CACHE_SIZE sets
+   the per-cache generation capacity. Both are also settable
+   programmatically. *)
+
+type stats = {
+  st_name : string;
+  mutable st_hits : int;
+  mutable st_misses : int;
+  mutable st_evicted : int;
+}
+
+type ('k, 'v) t = {
+  stats : stats;
+  obs_hit : string;
+  obs_miss : string;
+  obs_evict : string;
+  mutable young : ('k, 'v) Hashtbl.t;
+  mutable old : ('k, 'v) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Global knobs and registry                                           *)
+(* ------------------------------------------------------------------ *)
+
+let env_false = function Some ("0" | "off" | "false" | "no") -> false | _ -> true
+
+let enabled = ref (env_false (Sys.getenv_opt "MEMCOMP_FM_CACHE"))
+
+let default_capacity = 8192
+
+let capacity =
+  ref
+    (match Sys.getenv_opt "MEMCOMP_FM_CACHE_SIZE" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default_capacity)
+    | None -> default_capacity)
+
+let set_enabled b = enabled := b
+
+let is_enabled () = !enabled
+
+let set_capacity n = if n > 0 then capacity := n
+
+type registered = {
+  r_stats : stats;
+  r_clear : unit -> unit;
+  r_size : unit -> int;
+}
+
+let registry : registered list ref = ref []
+
+let create name =
+  let stats = { st_name = name; st_hits = 0; st_misses = 0; st_evicted = 0 } in
+  let c =
+    { stats;
+      obs_hit = "fm.cache." ^ name ^ ".hit";
+      obs_miss = "fm.cache." ^ name ^ ".miss";
+      obs_evict = "fm.cache." ^ name ^ ".evict";
+      young = Hashtbl.create 256;
+      old = Hashtbl.create 256
+    }
+  in
+  registry :=
+    { r_stats = stats;
+      r_clear =
+        (fun () ->
+          Hashtbl.reset c.young;
+          Hashtbl.reset c.old);
+      r_size = (fun () -> Hashtbl.length c.young + Hashtbl.length c.old)
+    }
+    :: !registry;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hit c =
+  c.stats.st_hits <- c.stats.st_hits + 1;
+  Obs.count c.obs_hit;
+  Obs.count "fm.cache.hit"
+
+let miss c =
+  c.stats.st_misses <- c.stats.st_misses + 1;
+  Obs.count c.obs_miss;
+  Obs.count "fm.cache.miss"
+
+let insert c k v =
+  if Hashtbl.length c.young >= !capacity then begin
+    let evicted = Hashtbl.length c.old in
+    if evicted > 0 then begin
+      c.stats.st_evicted <- c.stats.st_evicted + evicted;
+      Obs.add c.obs_evict evicted;
+      Obs.add "fm.cache.evict" evicted
+    end;
+    let emptied = c.old in
+    Hashtbl.reset emptied;
+    c.old <- c.young;
+    c.young <- emptied
+  end;
+  Hashtbl.replace c.young k v
+
+let find_or_add c k compute =
+  if not !enabled then compute ()
+  else
+    match Hashtbl.find_opt c.young k with
+    | Some v ->
+        hit c;
+        v
+    | None -> (
+        match Hashtbl.find_opt c.old k with
+        | Some v ->
+            (* promote so a warm entry survives the next rotation *)
+            hit c;
+            insert c k v;
+            v
+        | None ->
+            miss c;
+            let v = compute () in
+            insert c k v;
+            v)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  List.iter
+    (fun r ->
+      r.r_clear ();
+      r.r_stats.st_hits <- 0;
+      r.r_stats.st_misses <- 0;
+      r.r_stats.st_evicted <- 0)
+    !registry;
+  Hc.clear ()
+
+let stats_alist () =
+  List.map
+    (fun r ->
+      (r.r_stats.st_name, (r.r_stats.st_hits, r.r_stats.st_misses, r.r_stats.st_evicted, r.r_size ())))
+    !registry
+  |> List.sort compare
+
+let stats_table () =
+  let rows = stats_alist () in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "== fm memo caches (%s, capacity %d) ==\n"
+       (if !enabled then "enabled" else "disabled")
+       !capacity);
+  let w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 4 rows
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  %-*s %10s %10s %10s %10s %8s\n" w "name" "hits"
+       "misses" "evicted" "entries" "hit%");
+  List.iter
+    (fun (name, (h, m, e, sz)) ->
+      let total = h + m in
+      Buffer.add_string b
+        (Printf.sprintf "  %-*s %10d %10d %10d %10d %7.1f%%\n" w name h m e sz
+           (100.0 *. float_of_int h /. float_of_int (max 1 total))))
+    rows;
+  Buffer.contents b

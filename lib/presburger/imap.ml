@@ -214,7 +214,22 @@ let bind_params t values = List.map (fun p -> Bmap.bind_params p values) t
 let card t =
   Iset.card (Iset.of_bsets (List.map Bmap.to_set_view t))
 
+(* Same isl-compatible shape as Iset.to_string: one brace pair, ';'
+   between pieces, merged parameter prefix. *)
 let to_string t =
   match t with
   | [] -> "{ }"
-  | _ -> String.concat " ; " (List.map Bmap.to_string t)
+  | pieces ->
+      let merged =
+        List.fold_left
+          (fun acc m -> Space.merge_params acc (Bmap.space m).Space.params)
+          [||] pieces
+      in
+      let pieces = List.map (fun m -> Bmap.align_params m merged) pieces in
+      let prefix =
+        if Array.length merged = 0 then ""
+        else
+          Printf.sprintf "[%s] -> " (String.concat ", " (Array.to_list merged))
+      in
+      Printf.sprintf "%s{ %s }" prefix
+        (String.concat " ; " (List.map Bmap.body_string pieces))

@@ -103,7 +103,22 @@ let sample t =
           | None -> None))
     None t
 
+(* Printed in the same isl syntax the parser accepts: one brace pair,
+   pieces separated by ';', a single merged parameter prefix. *)
 let to_string t =
   match t with
   | [] -> "{ }"
-  | _ -> String.concat " ; " (List.map Bset.to_string t)
+  | pieces ->
+      let merged =
+        List.fold_left
+          (fun acc s -> Space.merge_params acc (Bset.space s).Space.params)
+          [||] pieces
+      in
+      let pieces = List.map (fun s -> Bset.align_params s merged) pieces in
+      let prefix =
+        if Array.length merged = 0 then ""
+        else
+          Printf.sprintf "[%s] -> " (String.concat ", " (Array.to_list merged))
+      in
+      Printf.sprintf "%s{ %s }" prefix
+        (String.concat " ; " (List.map Bset.body_string pieces))

@@ -3,7 +3,9 @@
    stats table (per-pass wall times, pass counters, histograms) is
    printed to stderr before exiting nonzero — so a CI `dune runtest`
    failure shows where the failing binary spent its time without a
-   rerun.
+   rerun. The Fm memo-cache stats (hits/misses/evictions per cache)
+   are printed alongside, since a surprising hit-rate is often the
+   first clue when a cached and an uncached run disagree.
 
    Individual tests remain free to reset/enable/disable Obs themselves
    (test_obs and test_core do); the harness only sets the initial state
@@ -17,4 +19,28 @@ let run ?argv name suites =
   | exception e ->
       Printf.eprintf "\n== obs stats for failing test binary %S ==\n%s%!" name
         (Obs.stats_table ());
+      Printf.eprintf "\n== fm memo-cache stats ==\n%s%!"
+        (Presburger.Fm_cache.stats_table ());
       (match e with Alcotest.Test_error -> exit 1 | e -> raise e)
+
+(* Seed threading shared by the randomized binaries (test_fuzz,
+   test_props): `--seed N` on the command line wins over the FUZZ_SEED
+   environment variable, and the flag is stripped from argv before
+   Alcotest parses it. Returns (seed, argv-for-alcotest). *)
+let seed_from_argv ?(default = 0) () =
+  let env_seed =
+    match Sys.getenv_opt "FUZZ_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+    | None -> default
+  in
+  let args = Array.to_list Sys.argv in
+  let rec strip acc seed = function
+    | [] -> (seed, List.rev acc)
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> strip acc n rest
+        | None -> strip acc seed rest)
+    | a :: rest -> strip (a :: acc) seed rest
+  in
+  let seed, argv = strip [] env_seed args in
+  (seed, Array.of_list argv)

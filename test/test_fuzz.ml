@@ -13,30 +13,9 @@
 let check = Alcotest.check
 let bool = Alcotest.bool
 
-(* --seed N / FUZZ_SEED: base offset added to every generator seed. *)
-let base_seed, argv =
-  let env_seed =
-    match Sys.getenv_opt "FUZZ_SEED" with
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some n -> n
-        | None ->
-            Printf.eprintf "fuzz: ignoring non-integer FUZZ_SEED=%S\n" s;
-            0)
-    | None -> 0
-  in
-  let rec strip acc seed = function
-    | [] -> (seed, List.rev acc)
-    | "--seed" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some s -> strip acc s rest
-        | None ->
-            Printf.eprintf "fuzz: --seed expects an integer, got %S\n" n;
-            exit 2)
-    | a :: rest -> strip (a :: acc) seed rest
-  in
-  let seed, args = strip [] env_seed (Array.to_list Sys.argv) in
-  (seed, Array.of_list args)
+(* --seed N / FUZZ_SEED: base offset added to every generator seed
+   (shared parsing in Harness.seed_from_argv). *)
+let base_seed, argv = Harness.seed_from_argv ()
 
 let flows p =
   [ Exp_util.heuristic ~tile:5 ~target:Core.Pipeline.Cpu Fusion.Minfuse p;

@@ -255,6 +255,104 @@ let test_coalesce () =
   check int "same points" 10 (Iset.card c)
 
 (* ------------------------------------------------------------------ *)
+(* Parser round-trips over the literal corpus                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every isl-syntax literal used in this file. Each must survive
+   Parse -> to_string -> Parse with the same set of points, and the
+   printed form must be a fixpoint (printing the reparse reproduces it
+   byte for byte) — construction-time canonicalization makes the
+   printed constraint order deterministic, so this pins it down. *)
+let bset_corpus =
+  [ "{ S[i] : 0 <= i < 10 }";
+    "{ S[i] : 0 <= i and i <= -1 }";
+    "{ S[i] : 2 <= 2 * i and 2 * i <= 2 }";
+    "{ S[i] : 1 <= 2 * i and 2 * i <= 1 }";
+    "{ S[i, j] : 0 <= i < 8 and 0 <= j < 8 }";
+    "{ S[i, j] : 4 <= i < 12 and 0 <= j < 8 }";
+    "{ S[o, i] : 4 * o <= i and i < 4 * o + 4 and 0 <= i < 12 }";
+    "{ S[o] : 0 <= o <= 2 }";
+    "{ S[i] : 0 <= i < 12 }";
+    "{ S[i, j] : 0 <= i < 4 and 0 <= j <= i }";
+    "[N] -> { S[i] : 0 <= i < N }";
+    "{ S[i, j] : 3 <= i < 10 and i <= j and j < 2 * i }";
+    "{ S[i] : 3 <= i < 6 }";
+    "{ A[x] : 2 <= x < 7 }";
+    "{ A[x] : 10 <= x < 14 }";
+    "{ T[o0, o1] : o0 = 1 and o1 = 0 }";
+    "{ T[o0, o1] : o0 = 1 and o1 = 1 }";
+    "{ A[x, y] : 2 <= x <= 5 and 0 <= y <= 3 }";
+    "{ A[x, y] : 2 <= x <= 5 and 2 <= y <= 5 }";
+    "{ S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 }";
+    "{ S[i, j] : 0 <= i < 2 and 0 <= j < 2 }"
+  ]
+
+let bmap_corpus =
+  [ "{ S[i] -> A[i + 2] : 0 <= i < 5 }";
+    "{ S[i] -> A[i + 5] : 0 <= i < 4 }";
+    "{ S[i] -> A[2 * i] : 0 <= i < 4 }";
+    "{ S[i] -> T[i + 1] : 0 <= i < 10 }";
+    "{ T[j] -> U[2 * j] : j >= 3 }";
+    "{ S[i] -> U[k] : k = 2 * i + 2 and 2 <= i < 10 }";
+    "{ S[i] -> A[i + 10] }";
+    "{ S[h, w] -> A[x, y] : x = h + 1 and y = w }";
+    "{ S2[h, w, kh, kw] -> T[o0, o1] : 2 * o0 <= h and h < 2 * o0 + 2 and \
+     2 * o1 <= w and w < 2 * o1 + 2 and 0 <= h <= 3 and 0 <= w <= 3 and \
+     0 <= kh < 3 and 0 <= kw < 3 }";
+    "{ S2[h, w, kh, kw] -> A[x, y] : x = h + kh and y = w + kw and \
+     0 <= h <= 3 and 0 <= w <= 3 and 0 <= kh < 3 and 0 <= kw < 3 }";
+    "{ T[o0, o1] -> A[x, y] : 0 <= o0 < 2 and 0 <= o1 < 2 and \
+     2 * o0 <= x and x < 2 * o0 + 4 and 2 * o1 <= y and y < 2 * o1 + 4 and \
+     0 <= x < 6 and 0 <= y < 6 }";
+    "{ A[x, y] -> S0[h, w] : h = x and w = y and 0 <= x < 6 and 0 <= y < 6 }";
+    "{ T[o] -> A[x] : 4 * o <= x and x <= 4 * o + 3 and 0 <= o < 4 }";
+    "{ T[o] -> A[x] : 4 * o + 1 <= x and x <= 4 * o + 4 and 0 <= o < 4 }";
+    "{ T[o] -> A[x] : 4 * o <= x and x <= 4 * o + 4 and 0 <= o < 4 }"
+  ]
+
+let iset_corpus =
+  [ "{ A[i] : 0 <= i < 3; B[j] : 0 <= j < 2 }";
+    "{ S[i] : 0 <= i < 3 or 10 <= i < 12 }";
+    "{ S[i] : 0 <= i < 10 or 2 <= i < 5 }"
+  ]
+
+let test_roundtrip_bsets () =
+  List.iter
+    (fun lit ->
+      let s = Parse.bset lit in
+      let printed = Bset.to_string s in
+      let s2 = Parse.bset printed in
+      check bool (Printf.sprintf "semantics of %s" lit) true
+        (Bset.is_subset s s2 && Bset.is_subset s2 s);
+      check Alcotest.string (Printf.sprintf "fixpoint of %s" lit) printed
+        (Bset.to_string s2))
+    bset_corpus
+
+let test_roundtrip_bmaps () =
+  List.iter
+    (fun lit ->
+      let m = Parse.bmap lit in
+      let printed = Bmap.to_string m in
+      let m2 = Parse.bmap printed in
+      check bool (Printf.sprintf "semantics of %s" lit) true
+        (Bmap.is_subset m m2 && Bmap.is_subset m2 m);
+      check Alcotest.string (Printf.sprintf "fixpoint of %s" lit) printed
+        (Bmap.to_string m2))
+    bmap_corpus
+
+let test_roundtrip_isets () =
+  List.iter
+    (fun lit ->
+      let u = Parse.set lit in
+      let printed = Iset.to_string u in
+      let u2 = Parse.set printed in
+      check bool (Printf.sprintf "semantics of %s" lit) true
+        (Iset.is_equal u u2);
+      check Alcotest.string (Printf.sprintf "fixpoint of %s" lit) printed
+        (Iset.to_string u2))
+    iset_corpus
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -542,5 +640,10 @@ let () =
         ] );
       ( "hull",
         [ Alcotest.test_case "tap hull exact" `Quick test_hull_exact_for_taps ] );
+      ( "parse-roundtrip",
+        [ Alcotest.test_case "bset corpus" `Quick test_roundtrip_bsets;
+          Alcotest.test_case "bmap corpus" `Quick test_roundtrip_bmaps;
+          Alcotest.test_case "iset corpus" `Quick test_roundtrip_isets
+        ] );
       ("properties", qcheck_cases @ qcheck_extra)
     ]
