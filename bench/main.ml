@@ -17,7 +17,14 @@
      bench/main.exe regress --base FILE --cand FILE [--max-time-ratio R]
                             [--time-floor S] [--json]
                                     diff two snapshots; exit 1 on
-                                    regression (the CI gate), 2 on error *)
+                                    regression (the CI gate), 2 on error
+     bench/main.exe parallel [--small] [--workloads a,b] [--jobs N]
+                             [--tile N] [--repeat R] [--warmup W]
+                             [--out FILE] [--label L]
+                                    jobs sweep of the parallel tile-graph
+                                    runtime (lib/runtime): trimmed-mean
+                                    wall times, speedup vs --jobs 1, and
+                                    a race-checked equivalence run *)
 
 let bechamel_passes () =
   let open Bechamel in
@@ -144,6 +151,11 @@ let snapshot_flows =
    driven CPU profile, the traffic volumes from the polyhedral
    footprint model, so a snapshot captures compile-side and machine-
    side behaviour at once. *)
+let deps_of_version p (v : Exp_util.version) =
+  match v.Exp_util.flavor with
+  | Exp_util.Ours c -> c.Core.Pipeline.deps
+  | Exp_util.Naive | Exp_util.Baseline _ -> Deps.compute p
+
 let collect_one ~small (e : Registry.entry) (flow_name, compile) =
   Obs.reset ();
   Presburger.Fm_cache.reset ();
@@ -155,6 +167,20 @@ let collect_one ~small (e : Registry.entry) (flow_name, compile) =
     let report = Exp_util.cpu_profile p v in
     let clusters = Exp_util.clusters p v in
     let traffic = Footprints.program_traffic p clusters in
+    (* parallel runtime: one sequential and one 2-worker execution, so
+       the runtime.* counters land in the counters map and the
+       wall-clock ratio becomes the snapshot's (noisy, non-gating)
+       speedup field *)
+    let deps = deps_of_version p v in
+    let seq =
+      Runtime.run ~jobs:1 ~mode:Executor.Seq p ~deps v.Exp_util.ast
+    in
+    let par = Runtime.run ~jobs:2 p ~deps v.Exp_util.ast in
+    let speedup =
+      if par.Runtime.wall_s > 0.0 then
+        Some (seq.Runtime.wall_s /. par.Runtime.wall_s)
+      else None
+    in
     let cache_levels =
       List.map
         (fun (l : Cache.level_stats) ->
@@ -164,7 +190,7 @@ let collect_one ~small (e : Registry.entry) (flow_name, compile) =
           })
         report.Cpu_model.cache
     in
-    Snapshot.capture ~workload:e.Registry.reg_name ~flow:flow_name
+    Snapshot.capture ?speedup ~workload:e.Registry.reg_name ~flow:flow_name
       ~compile_s:v.Exp_util.compile_s ~cache_levels
       ~dram_accesses:report.Cpu_model.dram
       ~traffic:
@@ -308,6 +334,165 @@ let regress_cmd args =
   end;
   exit (Bench_db.gate deltas)
 
+(* ------------------------------------------------------------------ *)
+(* parallel: jobs sweep over the tile-graph execution runtime          *)
+(* ------------------------------------------------------------------ *)
+
+let default_parallel_workloads =
+  [ "conv2d"; "unsharp_mask"; "harris"; "jacobi_unrolled" ]
+
+(* Trimmed mean: drop the min and max sample when we have at least
+   three, otherwise plain mean (see EXPERIMENTS.md, speedup
+   methodology). *)
+let trimmed_mean xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | ([ _ ] | [ _; _ ]) as s ->
+      List.fold_left ( +. ) 0.0 s /. float_of_int (List.length s)
+  | sorted ->
+      let n = List.length sorted in
+      let inner = List.filteri (fun i _ -> i > 0 && i < n - 1) sorted in
+      List.fold_left ( +. ) 0.0 inner /. float_of_int (n - 2)
+
+let parallel_cmd args =
+  let small = ref false in
+  let workloads = ref None in
+  let jobs = ref 4 in
+  let tile = ref 8 in
+  let repeat = ref 5 in
+  let warmup = ref 1 in
+  let out = ref None in
+  let label = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ -> usage_error (Printf.sprintf "%s expects a positive integer, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--small" :: rest ->
+        small := true;
+        parse rest
+    | "--workloads" :: ws :: rest ->
+        workloads := Some (String.split_on_char ',' ws);
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_arg "--jobs" n;
+        parse rest
+    | "--tile" :: n :: rest ->
+        tile := int_arg "--tile" n;
+        parse rest
+    | "--repeat" :: n :: rest ->
+        repeat := int_arg "--repeat" n;
+        parse rest
+    | "--warmup" :: n :: rest ->
+        warmup := int_arg "--warmup" n;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := Some f;
+        parse rest
+    | "--label" :: l :: rest ->
+        label := Some l;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "parallel: unknown argument %s" a)
+  in
+  parse args;
+  let entries =
+    match !workloads with
+    | Some names -> List.map Registry.find names
+    | None -> List.map Registry.find default_parallel_workloads
+  in
+  (* powers of two up to --jobs, always ending at --jobs itself *)
+  let sweep =
+    let rec build j acc =
+      if j >= !jobs then List.rev (!jobs :: acc) else build (j * 2) (j :: acc)
+    in
+    build 1 []
+  in
+  Exp_util.section
+    (Printf.sprintf
+       "Parallel tile-graph runtime: jobs sweep (tile %d, %d repeats, %d \
+        warmup, host exposes %d cores)"
+       !tile !repeat !warmup
+       (Domain.recommended_domain_count ()));
+  let header =
+    [ "workload"; "tiles"; "edges"; "mode" ]
+    @ List.map (fun j -> Printf.sprintf "j=%d ms" j) sweep
+    @ [ "speedup"; "semantics"; "races" ]
+  in
+  let rows = ref [] in
+  let measured = ref [] in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = if !small then e.Registry.small () else e.Registry.build () in
+      let v = Exp_util.ours ~tile:!tile ~target:Core.Pipeline.Cpu p in
+      let deps = deps_of_version p v in
+      let measure j =
+        for _ = 1 to !warmup do
+          ignore (Runtime.run ~jobs:j p ~deps v.Exp_util.ast)
+        done;
+        let samples =
+          List.init !repeat (fun _ ->
+              (Runtime.run ~jobs:j p ~deps v.Exp_util.ast).Runtime.wall_s)
+        in
+        trimmed_mean samples
+      in
+      let times = List.map (fun j -> (j, measure j)) sweep in
+      let t1 = List.assoc 1 times in
+      let tn = List.assoc !jobs times in
+      let speedup = if tn > 0.0 then t1 /. tn else 1.0 in
+      (* correctness: one race-checked run at max jobs vs the
+         sequential interpreter *)
+      let par = Runtime.run ~jobs:!jobs ~race_check:true p ~deps v.Exp_util.ast in
+      let oracle = Cpu_model.run_to_memory p v.Exp_util.ast in
+      let ok =
+        List.for_all
+          (fun a -> Interp.arrays_equal par.Runtime.mem oracle a)
+          p.Prog.live_out
+      in
+      let races = par.Runtime.metrics.Executor.m_violations in
+      measured := (e, speedup) :: !measured;
+      rows :=
+        ([ e.Registry.reg_name;
+           string_of_int (Array.length par.Runtime.graph.Tile_graph.items);
+           string_of_int par.Runtime.graph.Tile_graph.n_edges;
+           Executor.mode_name par.Runtime.metrics.Executor.m_mode
+         ]
+        @ List.map (fun (_, t) -> Printf.sprintf "%.2f" (t *. 1000.0)) times
+        @ [ Printf.sprintf "%.2fx" speedup;
+            (if ok then "ok" else "MISMATCH");
+            string_of_int (List.length races)
+          ])
+        :: !rows;
+      if not ok then Printf.eprintf "parallel: %s diverges from Interp.run\n%!" e.Registry.reg_name)
+    entries;
+  Exp_util.print_table ~header (List.rev !rows);
+  print_endline
+    "  (speedup = trimmed-mean j=1 wall / trimmed-mean j=max wall; noisy,\n\
+    \   never gates regress. On a 1-core host expect <= 1.0x.)";
+  match !out with
+  | None -> ()
+  | Some file ->
+      let label =
+        match !label with
+        | Some l -> l
+        | None -> Filename.remove_extension (Filename.basename file)
+      in
+      let flow =
+        ("ours", fun p -> Exp_util.ours ~tile:!tile ~target:Core.Pipeline.Cpu p)
+      in
+      let snaps =
+        List.filter_map
+          (fun (e, sp) ->
+            Option.map
+              (fun s -> { s with Snapshot.speedup = Some sp })
+              (collect_one ~small:!small e flow))
+          (List.rev !measured)
+      in
+      Bench_db.save file (Bench_db.make ~label snaps);
+      Printf.printf "wrote %d parallel snapshots to %s\n" (List.length snaps)
+        file
+
 let experiments =
   [ ("table1", Paper_experiments.table1);
     ("fig8", Paper_experiments.fig8);
@@ -332,6 +517,7 @@ let () =
       Paper_experiments.run_all ()
   | "snapshot" :: rest -> snapshot_cmd rest
   | "regress" :: rest -> regress_cmd rest
+  | "parallel" :: rest -> parallel_cmd rest
   | names ->
       List.iter
         (fun n ->

@@ -103,6 +103,60 @@ let flow_arg =
     & info [ "f"; "flow" ] ~docv:"FLOW"
         ~doc:"naive | minfuse | smartfuse | maxfuse | hybridfuse | ours | polymage | halide.")
 
+(* Shared worker-count knob: --jobs N, with the MEMCOMP_JOBS
+   environment variable as fallback, defaulting to 1. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (fallback: the \
+           MEMCOMP_JOBS environment variable; default 1).")
+
+let resolve_jobs jobs =
+  match jobs with
+  | Some n -> max 1 n
+  | None -> (
+      match Sys.getenv_opt "MEMCOMP_JOBS" with
+      | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> 1)
+      | None -> 1)
+
+let exit_race = 3
+(* distinct exit code when the tile race checker fires *)
+
+let deps_of prog (v : Exp_util.version) =
+  match v.Exp_util.flavor with
+  | Exp_util.Ours c -> c.Core.Pipeline.deps
+  | Exp_util.Naive | Exp_util.Baseline _ -> Deps.compute prog
+
+let run_parallel_report prog (v : Exp_util.version) ~jobs ~race_check =
+  let deps = deps_of prog v in
+  let r = Runtime.run ~jobs ~race_check prog ~deps v.Exp_util.ast in
+  let oracle = Cpu_model.run_to_memory prog v.Exp_util.ast in
+  let ok =
+    List.for_all
+      (fun a -> Interp.arrays_equal oracle r.Runtime.mem a)
+      prog.Prog.live_out
+  in
+  let m = r.Runtime.metrics in
+  Printf.printf "  parallel    %d tiles, %d edges, mode %s, %d jobs\n"
+    m.Executor.m_tiles r.Runtime.graph.Tile_graph.n_edges
+    (Executor.mode_name m.Executor.m_mode)
+    m.Executor.m_jobs;
+  Printf.printf "  parallel    %.3f ms wall, %d steals, %d barrier waits\n"
+    (1e3 *. r.Runtime.wall_s) m.Executor.m_steals m.Executor.m_barrier_waits;
+  Printf.printf "  semantics   %s vs sequential oracle\n"
+    (if ok then "ok" else "MISMATCH");
+  (match m.Executor.m_violations with
+  | [] -> if race_check then Printf.printf "  races       none detected\n"
+  | vs ->
+      Printf.printf "  races       %d violation(s), first: tile %d read cell %d \
+                     of incomplete tile %d\n"
+        (List.length vs) (List.hd vs).Executor.v_tile
+        (List.hd vs).Executor.v_cell (List.hd vs).Executor.v_writer);
+  (ok, m.Executor.m_violations <> [])
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -144,7 +198,26 @@ let run_cmd =
   let threads =
     Arg.(value & opt int 32 & info [ "j"; "threads" ] ~docv:"N" ~doc:"Thread count.")
   in
-  let run workload tile small flow threads stats trace =
+  let run_parallel =
+    Arg.(
+      value
+      & opt ~vopt:(Some 0) (some int) None
+      & info [ "run-parallel" ] ~docv:"N"
+          ~doc:
+            "Also execute the compiled pipeline on the parallel tile-graph \
+             runtime with $(docv) worker domains (0 or no value: use the \
+             --jobs / MEMCOMP_JOBS knob) and check the result against the \
+             sequential interpreter oracle.")
+  in
+  let race_check =
+    Arg.(
+      value & flag
+      & info [ "race-check" ]
+          ~doc:
+            "Enable the debug-mode tile race checker during --run-parallel; \
+             detected violations exit with code 3.")
+  in
+  let run workload tile small flow threads par jobs race_check stats trace =
     let finish = obs_begin ~stats ~trace in
     let prog = prog_of workload small in
     let v = version_of flow ~tile prog in
@@ -161,13 +234,22 @@ let run_cmd =
     Printf.printf "  modelled    %.3f ms at %d threads\n"
       (Exp_util.cpu_time_ms prog v ~threads)
       threads;
-    finish ()
+    let status =
+      match par with
+      | None -> 0
+      | Some n ->
+          let jobs = if n > 0 then n else resolve_jobs jobs in
+          let ok, raced = run_parallel_report prog v ~jobs ~race_check in
+          if raced then exit_race else if ok then 0 else 2
+    in
+    finish ();
+    if status <> 0 then Stdlib.exit status
   in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ threads
-      $ stats_arg $ trace_arg)
+      $ run_parallel $ jobs_arg $ race_check $ stats_arg $ trace_arg)
 
 let compare_cmd =
   let doc =

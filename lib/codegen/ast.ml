@@ -17,6 +17,10 @@ type t =
   | Call of { stmt : string; args : expr list }
   | Block of t list
   | Kernel of int * t
+  | Point of t
+      (** point-band boundary: everything inside executes within a
+          single tile of the enclosing tile loops (the unit of work of
+          the parallel runtime) *)
   | Nop
 
 let rec eval_expr ~params ~env = function
@@ -121,6 +125,9 @@ let to_string ast =
     | Kernel (k, t) ->
         Buffer.add_string buf (Printf.sprintf "%s// kernel %d\n" (pad depth) k);
         go depth t
+    | Point t ->
+        Buffer.add_string buf (pad depth ^ "// tile body\n");
+        go depth t
     | For { var; lb; ub; coincident; body } ->
         Buffer.add_string buf
           (Printf.sprintf "%sfor (%s = %s; %s <= %s; %s++)%s {\n" (pad depth) var
@@ -147,14 +154,14 @@ let rec count_loops = function
   | For { body; _ } -> 1 + count_loops body
   | If (_, body) -> count_loops body
   | Block ts -> List.fold_left (fun acc t -> acc + count_loops t) 0 ts
-  | Kernel (_, t) -> count_loops t
+  | Kernel (_, t) | Point t -> count_loops t
   | Call _ | Nop -> 0
 
 let rec count_nodes = function
   | For { body; _ } -> 1 + count_nodes body
   | If (_, body) -> 1 + count_nodes body
   | Block ts -> 1 + List.fold_left (fun acc t -> acc + count_nodes t) 0 ts
-  | Kernel (_, t) -> 1 + count_nodes t
+  | Kernel (_, t) | Point t -> 1 + count_nodes t
   | Call _ | Nop -> 1
 
 let kernels ast =
@@ -164,6 +171,7 @@ let kernels ast =
     | For { body; _ } -> go body
     | If (_, body) -> go body
     | Block ts -> List.iter go ts
+    | Point t -> go t
     | Call _ | Nop -> ()
   in
   go ast;

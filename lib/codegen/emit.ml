@@ -74,12 +74,13 @@ let openmp ?(staged = []) (p : Prog.t) ast =
           | Ast.For _ -> true
           | Ast.If (_, b) -> has_for b
           | Ast.Block ts -> List.exists has_for ts
-          | Ast.Kernel (_, t) -> has_for t
+          | Ast.Kernel (_, t) | Ast.Point t -> has_for t
           | _ -> false
         in
         if has_for body then innermost_parallel body else coincident
     | Ast.If (_, b) -> innermost_parallel b
     | Ast.Block ts -> List.exists innermost_parallel ts
+    | Ast.Point t -> innermost_parallel t
     | _ -> false
   in
   let rec go depth ~outer_done node =
@@ -89,6 +90,7 @@ let openmp ?(staged = []) (p : Prog.t) ast =
     | Ast.Kernel (k, t) ->
         Buffer.add_string buf (Printf.sprintf "%s/* kernel %d */\n" (pad depth) k);
         go depth ~outer_done:false t
+    | Ast.Point t -> go depth ~outer_done t
     | Ast.If (conds, body) ->
         Buffer.add_string buf
           (Printf.sprintf "%sif (%s) {\n" (pad depth)
@@ -130,7 +132,7 @@ let cuda ?(staged = []) (p : Prog.t) ast =
       match node with
       | Ast.Nop -> ()
       | Ast.Block ts -> List.iter (go depth ~grid ~threads) ts
-      | Ast.Kernel (_, t) -> go depth ~grid ~threads t
+      | Ast.Kernel (_, t) | Ast.Point t -> go depth ~grid ~threads t
       | Ast.If (conds, body) ->
           Buffer.add_string buf
             (Printf.sprintf "%sif (%s) {\n" (pad depth)
@@ -182,7 +184,9 @@ let cce ?(staged = []) ~kind_of (p : Prog.t) ast =
       staged;
     let rec stmts_of = function
       | Ast.Call { stmt; _ } -> [ stmt ]
-      | Ast.If (_, b) | Ast.For { body = b; _ } | Ast.Kernel (_, b) -> stmts_of b
+      | Ast.If (_, b) | Ast.For { body = b; _ } | Ast.Kernel (_, b) | Ast.Point b
+        ->
+          stmts_of b
       | Ast.Block ts -> List.concat_map stmts_of ts
       | Ast.Nop -> []
     in

@@ -221,6 +221,10 @@ let rec gen ctx active (node : Schedule_tree.t) : Ast.t =
       let id = !(ctx.kernel_counter) in
       incr ctx.kernel_counter;
       Ast.Kernel (id, gen ctx active child)
+  | Schedule_tree.Mark ("point", child) -> (
+      match gen ctx active child with
+      | Ast.Nop -> Ast.Nop
+      | body -> Ast.Point body)
   | Schedule_tree.Mark (_, child) -> gen ctx active child
   | Schedule_tree.Extension (ext, child) ->
       let new_states =

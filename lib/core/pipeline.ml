@@ -73,7 +73,8 @@ let tiled_tree (p : Prog.t) (r : Fusion.result) ~tile_size =
     | Filter (f, Band (b, child)) when b.permutable && b.n_members > 0 ->
         let sizes = Array.make b.n_members tile_size in
         let tile, point = tile_band b ~tile_sizes:sizes ~prefix:"T_" in
-        Filter (f, Mark ("kernel", Band (tile, Band (point, child))))
+        Filter
+          (f, Mark ("kernel", Band (tile, Mark ("point", Band (point, child)))))
     | other -> other
   in
   match Build_tree.initial_tree p r with

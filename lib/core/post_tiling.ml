@@ -169,25 +169,52 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
             (Prog.find_stmt p st).Prog.reads)
         residual
     in
-    let covered_by rid =
-      let t = Hashtbl.find tilings rid in
-      fun (c : Spaces.t) ->
-        c.Spaces.id = rid
-        || List.exists
-             (fun (e : Tile_shapes.extension) -> e.Tile_shapes.space_id = c.Spaces.id)
-             t.Tile_shapes.extensions
+    (* Coverage is a statement-level property: a consumer space may be
+       only partially fused, in which case its residual statements still
+       execute in the original nest and read arrays globally. Checking
+       "the consumer space has an extension in the root" is too weak —
+       the extension may recompute a different statement of that space
+       while the actual consumer statement stays residual (seed-1057
+       mis-schedule: {s1;s2} space had s2 fused, so the fully-fused
+       producer of s1's input was skipped even though s1 ran residually
+       against never-computed data). *)
+    let stmt_roots st =
+      (* roots in whose tiles statement [st] executes: its own space
+         when scheduled as a root, plus every root that fused it *)
+      Hashtbl.fold
+        (fun rid (t : Tile_shapes.tiling) acc ->
+          let own =
+            List.mem st (Spaces.find spaces rid).Spaces.group.Fusion.stmts
+          in
+          let in_ext =
+            List.exists
+              (fun (e : Tile_shapes.extension) ->
+                List.mem st (Tile_shapes.fused_stmts e))
+              t.Tile_shapes.extensions
+          in
+          if own || in_ext then rid :: acc else acc)
+        tilings []
     in
-    let consumers_of_fused =
-      List.filter
+    let consumer_stmts =
+      List.concat_map
         (fun (c : Spaces.t) ->
-          c.Spaces.id <> id
-          && List.exists (fun a -> List.mem a c.Spaces.reads) fused_arrays)
+          if c.Spaces.id = id then []
+          else
+            List.filter
+              (fun st ->
+                List.exists
+                  (fun (r : Prog.access) -> List.mem r.Prog.array fused_arrays)
+                  (Prog.find_stmt p st).Prog.reads)
+              c.Spaces.group.Fusion.stmts)
         spaces
     in
     residual_ok
     && List.for_all
-         (fun c -> List.exists (fun rid -> covered_by rid c) root_ids)
-         consumers_of_fused
+         (fun st ->
+           match stmt_roots st with
+           | [] -> false
+           | roots -> List.for_all (fun r -> List.mem r root_ids) roots)
+         consumer_stmts
   in
   let rec fixpoint () =
     let offender =
@@ -331,7 +358,10 @@ let root_subtree (p : Prog.t) ~spaces (r : root) =
   Schedule_tree.Filter
     ( Build_tree.stmt_filter p g.Fusion.stmts,
       Schedule_tree.Mark
-        ("kernel", Schedule_tree.Band (tile_band_of r.tiling liveout, body)) )
+        ( "kernel",
+          Schedule_tree.Band
+            (tile_band_of r.tiling liveout, Schedule_tree.Mark ("point", body))
+        ) )
 
 let to_tree (p : Prog.t) ~spaces (pl : plan) =
   Obs.span "post_tiling.to_tree" @@ fun () ->

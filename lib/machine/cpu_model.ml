@@ -61,7 +61,7 @@ let rec par_iters params = function
   | Ast.If (_, body) -> par_iters params body
   | Ast.Block ts ->
       List.fold_left (fun acc t -> max acc (par_iters params t)) 1 ts
-  | Ast.Kernel (_, t) -> par_iters params t
+  | Ast.Kernel (_, t) | Ast.Point t -> par_iters params t
   | Ast.Call _ | Ast.Nop -> 1
 
 let rec vectorizable = function
@@ -71,7 +71,7 @@ let rec vectorizable = function
           | Ast.For _ -> true
           | Ast.If (_, b) -> contains_for b
           | Ast.Block ts -> List.exists contains_for ts
-          | Ast.Kernel (_, t) -> contains_for t
+          | Ast.Kernel (_, t) | Ast.Point t -> contains_for t
           | Ast.Call _ | Ast.Nop -> false
         in
         contains_for body
@@ -79,7 +79,7 @@ let rec vectorizable = function
       if has_inner_for then vectorizable body else coincident
   | Ast.If (_, body) -> vectorizable body
   | Ast.Block ts -> List.exists vectorizable ts
-  | Ast.Kernel (_, t) -> vectorizable t
+  | Ast.Kernel (_, t) | Ast.Point t -> vectorizable t
   | Ast.Call _ | Ast.Nop -> false
 
 let profile ?seed ?cache (p : Prog.t) ast =

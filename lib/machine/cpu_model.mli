@@ -43,6 +43,12 @@ type report = {
   total_ops : int;
 }
 
+val deterministic_fill : ?seed:int -> Prog.t -> Interp.memory -> unit
+(** Fill every array with deterministic pseudo-random data derived from
+    the array name and [seed] (default 42). The same fill is used by
+    {!profile}, {!run_to_memory} and the parallel runtime, so their
+    results are directly comparable. *)
+
 val profile : ?seed:int -> ?cache:Cache.t -> Prog.t -> Ast.t -> report
 (** Allocates memory, fills every array with deterministic pseudo-random
     data, executes the AST through the cache hierarchy (default: the

@@ -75,8 +75,17 @@ let flat_index (s : array_store) ~array idxs =
     idxs;
   !flat
 
-let run ?observer (p : Prog.t) ast mem =
-  Obs.span "interp.run" @@ fun () ->
+let address_cells mem =
+  Hashtbl.fold
+    (fun _ s acc -> max acc ((s.base / elem_bytes) + Array.length s.data))
+    mem.arrays 0
+
+(* Core AST walker shared by [run] and [tile_runner]. Builds its own
+   statement table and stats record, so each instantiation is
+   self-contained: workers of the parallel runtime create one per
+   domain and execute tile subtrees against the shared memory without
+   touching any global (notably not Obs, which is not thread-safe). *)
+let executor ?observer (p : Prog.t) mem =
   let stats =
     { instances = 0;
       ops = 0;
@@ -142,6 +151,7 @@ let run ?observer (p : Prog.t) ast mem =
         kernel := k;
         exec env t;
         kernel := saved
+    | Ast.Point t -> exec env t
     | Ast.If (conds, body) ->
         if
           List.for_all (fun c -> Ast.eval_expr ~params ~env c >= 0) conds
@@ -155,12 +165,23 @@ let run ?observer (p : Prog.t) ast mem =
     | Ast.Call { stmt; args } ->
         exec_call stmt (List.map (Ast.eval_expr ~params ~env) args)
   in
-  exec [] ast;
+  let go ?kernel:(k0 = -1) ~env ast =
+    kernel := k0;
+    exec env ast
+  in
+  (stats, go)
+
+let run ?observer (p : Prog.t) ast mem =
+  Obs.span "interp.run" @@ fun () ->
+  let stats, exec = executor ?observer p mem in
+  exec ~env:[] ast;
   Obs.add "interp.instances" stats.instances;
   Obs.add "interp.reads" stats.reads;
   Obs.add "interp.writes" stats.writes;
   Obs.add "interp.ops" stats.ops;
   stats
+
+let tile_runner ?observer (p : Prog.t) mem = executor ?observer p mem
 
 let arrays_equal ?(eps = 1e-6) m1 m2 name =
   let a = read_array m1 name and b = read_array m2 name in

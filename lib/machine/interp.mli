@@ -37,4 +37,21 @@ val run :
     array and index. Kernel id -1 denotes code outside any kernel
     region. *)
 
+val address_cells : memory -> int
+(** Number of element-granular cells spanned by the allocated address
+    space; observer [addr / elem_bytes] always falls below this. Used
+    to size the parallel runtime's per-cell race-checker tables. *)
+
+val tile_runner :
+  ?observer:(kernel:int -> addr:int -> write:bool -> unit) ->
+  Prog.t ->
+  memory ->
+  stats * (?kernel:int -> env:(string * int) list -> Ast.t -> unit)
+(** A self-contained executor over a shared memory: returns a private
+    stats record and a function executing an AST fragment under an
+    initial loop-variable environment. Unlike {!run} it never touches
+    [Obs] (which is not thread-safe), so each domain of the parallel
+    runtime builds its own and runs tile bodies concurrently; the
+    caller merges stats after joining. *)
+
 val arrays_equal : ?eps:float -> memory -> memory -> string -> bool

@@ -19,7 +19,11 @@
 
 type t = { label : string; created : string; snapshots : Snapshot.t list }
 
-let schema_version = 1
+(* v2: snapshots may carry the optional speedup field and runtime.*
+   counters; v1 files still load (the additions are optional). *)
+let schema_version = 2
+
+let min_schema_version = 1
 
 let iso8601 time =
   let tm = Unix.gmtime time in
@@ -57,10 +61,10 @@ let of_json j =
     | Snapshot.Json.Num f -> Ok (int_of_float f)
     | _ -> Error "field \"schema_version\" is not a number"
   in
-  if version <> schema_version then
+  if version < min_schema_version || version > schema_version then
     Error
-      (Printf.sprintf "unsupported schema_version %d (supported: %d)" version
-         schema_version)
+      (Printf.sprintf "unsupported schema_version %d (supported: %d-%d)" version
+         min_schema_version schema_version)
   else
     let* label_j = field "label" in
     let* label =
@@ -116,7 +120,7 @@ let load path =
 (* Diff and classification                                             *)
 (* ------------------------------------------------------------------ *)
 
-type kind = Time | Counter
+type kind = Time | Counter | Noisy
 
 type classification = Improved | Unchanged | Regressed | Added | Removed
 
@@ -144,6 +148,14 @@ let classify_time th ~base ~cand =
 let classify_counter ~base ~cand =
   if cand > base then Regressed else if cand < base then Improved else Unchanged
 
+(* Metrics that are inherently nondeterministic across runs -- work-
+   stealing counts, per-worker busy time, measured wall-clock speedup.
+   They are recorded for inspection but never gate. *)
+let noisy_counters =
+  [ "runtime.steals"; "runtime.barrier_waits"; "runtime.busy_us" ]
+
+let counter_kind name = if List.mem name noisy_counters then Noisy else Counter
+
 (* Flatten a snapshot into named scalar metrics. Span wall times are
    Time metrics; span call counts, like everything else, are exact. *)
 let metrics_of (s : Snapshot.t) : (string * kind * float) list =
@@ -156,7 +168,7 @@ let metrics_of (s : Snapshot.t) : (string * kind * float) list =
         ])
       s.Snapshot.spans
   @ List.map
-      (fun (name, v) -> ("counter." ^ name, Counter, i v))
+      (fun (name, v) -> ("counter." ^ name, counter_kind name, i v))
       s.Snapshot.counters
   @ List.concat_map
       (fun (l : Snapshot.cache_level) ->
@@ -172,6 +184,9 @@ let metrics_of (s : Snapshot.t) : (string * kind * float) list =
       ("ast.kernels", Counter, i s.Snapshot.ast.Snapshot.ast_kernels);
       ("ast.nodes", Counter, i s.Snapshot.ast.Snapshot.ast_nodes)
     ]
+  @ (match s.Snapshot.speedup with
+    | Some f -> [ ("speedup", Noisy, f) ]
+    | None -> [])
 
 let diff_snapshots th (base : Snapshot.t) (cand : Snapshot.t) =
   let mk metric kind b c cls =
@@ -199,6 +214,7 @@ let diff_snapshots th (base : Snapshot.t) (cand : Snapshot.t) =
               | Time -> classify_time th ~base:b ~cand:c
               | Counter ->
                   classify_counter ~base:(int_of_float b) ~cand:(int_of_float c)
+              | Noisy -> Unchanged
             in
             mk name kind b c cls)
       bm
@@ -268,12 +284,16 @@ let class_name = function
   | Added -> "added"
   | Removed -> "removed"
 
-let kind_name = function Time -> "time" | Counter -> "counter"
+let kind_name = function
+  | Time -> "time"
+  | Counter -> "counter"
+  | Noisy -> "noisy"
 
 let value_str kind v =
   match kind with
   | Time -> Printf.sprintf "%.4f" v
   | Counter -> Printf.sprintf "%.0f" v
+  | Noisy -> Printf.sprintf "%.4g" v
 
 let summary_table deltas =
   let b = Buffer.create 2048 in

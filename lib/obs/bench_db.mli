@@ -13,6 +13,9 @@
       bytes, AST sizes) compare exactly: the compiler is deterministic,
       any increase is a regression and any decrease an improvement.
       Intentional changes are absorbed by refreshing the baseline;
+    - {e noisy} metrics (work-stealing counts, per-worker busy time,
+      measured speedup) are inherently nondeterministic: they are
+      recorded in snapshots for inspection but never gate;
     - a workload x flow pair present in the base but missing from the
       candidate is a regression; a pair only in the candidate is
       reported as added but does not gate. *)
@@ -31,7 +34,10 @@ val load : string -> (t, string) result
 
 (** {1 Diff} *)
 
-type kind = Time | Counter
+type kind = Time | Counter | Noisy
+
+val noisy_counters : string list
+(** Obs counter names classified {!Noisy} (e.g. [runtime.steals]). *)
 
 type classification = Improved | Unchanged | Regressed | Added | Removed
 

@@ -260,7 +260,9 @@ end
 (* Snapshot record                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 1
+(* v2: adds the optional [speedup] field (parallel-runtime wall-clock
+   ratio vs one worker); absent in v1 files, which still parse. *)
+let schema_version = 2
 
 type span = { sp_name : string; sp_calls : int; sp_total_s : float }
 
@@ -284,10 +286,13 @@ type t = {
   dram_accesses : int;
   traffic : traffic;
   ast : ast_stats;
+  speedup : float option;
+      (* parallel runtime wall-clock speedup vs one worker; None when
+         the collector did not run the parallel runtime *)
 }
 
-let capture ~workload ~flow ~compile_s ~cache_levels ~dram_accesses ~traffic
-    ~ast () =
+let capture ?speedup ~workload ~flow ~compile_s ~cache_levels ~dram_accesses
+    ~traffic ~ast () =
   let spans =
     Obs.spans_alist ()
     |> List.map (fun (name, (calls, total_s, _max_s)) ->
@@ -302,7 +307,8 @@ let capture ~workload ~flow ~compile_s ~cache_levels ~dram_accesses ~traffic
     cache_levels;
     dram_accesses;
     traffic;
-    ast
+    ast;
+    speedup
   }
 
 (* ------------------------------------------------------------------ *)
@@ -312,7 +318,7 @@ let capture ~workload ~flow ~compile_s ~cache_levels ~dram_accesses ~traffic
 let num i = Json.Num (float_of_int i)
 
 let to_json s =
-  Json.Obj
+  let base =
     [ ("workload", Json.Str s.workload);
       ("flow", Json.Str s.flow);
       ("compile_s", Json.Num s.compile_s);
@@ -354,6 +360,12 @@ let to_json s =
             ("nodes", num s.ast.ast_nodes)
           ] )
     ]
+  in
+  Json.Obj
+    (base
+    @ match s.speedup with
+      | Some f -> [ ("speedup", Json.Num f) ]
+      | None -> [])
 
 let to_string s = Json.to_string (to_json s)
 
@@ -447,6 +459,13 @@ let of_json j =
   let* loops = int_field "loops" ast_j in
   let* kernels = int_field "kernels" ast_j in
   let* nodes = int_field "nodes" ast_j in
+  let* speedup =
+    match Json.member "speedup" j with
+    | None | Some Json.Null -> Ok None
+    | Some v ->
+        let* f = as_num "speedup" v in
+        Ok (Some f)
+  in
   Ok
     { workload;
       flow;
@@ -460,7 +479,8 @@ let of_json j =
           tr_write_bytes = write_bytes;
           tr_staged_bytes = staged_bytes
         };
-      ast = { ast_loops = loops; ast_kernels = kernels; ast_nodes = nodes }
+      ast = { ast_loops = loops; ast_kernels = kernels; ast_nodes = nodes };
+      speedup
     }
 
 let of_string s =

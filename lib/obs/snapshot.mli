@@ -56,9 +56,14 @@ type t = {
   dram_accesses : int;
   traffic : traffic;
   ast : ast_stats;
+  speedup : float option;
+      (** parallel-runtime wall-clock speedup vs one worker (schema v2,
+          optional: [None] when the collector did not run the parallel
+          runtime, and for every v1 file) *)
 }
 
 val capture :
+  ?speedup:float ->
   workload:string ->
   flow:string ->
   compile_s:float ->

@@ -1,0 +1,48 @@
+(** Worker-pool executor over a {!Tile_graph.t}, running tile bodies
+    on OCaml 5 domains against a shared {!Interp.memory}.
+
+    Never touches [Obs] (which is not thread-safe): all metrics are
+    accumulated in per-worker slots and merged after the domains are
+    joined; the caller is responsible for reporting them. *)
+
+type mode =
+  | Seq  (** sequential in item-id order on the calling domain *)
+  | Wavefront
+      (** conservative barrier mode: longest-path levels, each level a
+          parallel-for with a full barrier after it *)
+  | Dag
+      (** dependence-aware work stealing over per-worker deques with
+          atomic predecessor counters *)
+
+val mode_name : mode -> string
+
+type config = { jobs : int; mode : mode; race_check : bool }
+
+type violation = {
+  v_tile : int;  (** the reading tile *)
+  v_writer : int;  (** the incomplete producer tile *)
+  v_cell : int;  (** element-granular global cell index *)
+}
+
+type metrics = {
+  m_mode : mode;
+  m_jobs : int;
+  m_tiles : int;
+  m_steals : int;
+  m_barrier_waits : int;
+  m_busy_s : float array;  (** per-worker busy wall time, seconds *)
+  m_instances : int;  (** executed statement instances, summed *)
+  m_violations : violation list;
+}
+
+val run : config -> Prog.t -> Tile_graph.t -> Interp.memory -> metrics
+
+val run_sequential :
+  ?order:int array ->
+  ?race_check:bool ->
+  Prog.t -> Tile_graph.t -> Interp.memory -> metrics
+(** Execute items one by one in [order] (default: item-id order, the
+    original sequential schedule). With [race_check], reads of cells
+    whose producer tile has not completed are recorded -- executing a
+    deliberately wrong [order] is how the race checker is itself
+    tested. *)

@@ -1,0 +1,42 @@
+(* Facade: allocate memory, fill it deterministically (same seed as
+   the machine models, so results are comparable with [Interp.run] /
+   [Cpu_model.run_to_memory]), extract the tile graph, execute it, and
+   report runtime.* observability counters from the main thread. *)
+
+type result = {
+  mem : Interp.memory;
+  graph : Tile_graph.t;
+  metrics : Executor.metrics;
+  wall_s : float;
+}
+
+let default_mode (g : Tile_graph.t) =
+  if g.Tile_graph.has_opaque then Executor.Wavefront else Executor.Dag
+
+let run ?(jobs = 1) ?mode ?(race_check = false) ?max_tiles ?split_depth
+    ?(seed = 42) (p : Prog.t) ~deps ast =
+  Obs.span "runtime.run" @@ fun () ->
+  let jobs = max 1 jobs in
+  let mem = Interp.alloc p in
+  Cpu_model.deterministic_fill ~seed p mem;
+  let graph =
+    Obs.span "runtime.extract" (fun () ->
+        Tile_graph.extract ?max_tiles ?split_depth p ~deps ast)
+  in
+  let mode = match mode with Some m -> m | None -> default_mode graph in
+  let t0 = Unix.gettimeofday () in
+  let metrics =
+    Obs.span "runtime.execute" (fun () ->
+        Executor.run { Executor.jobs; mode; race_check } p graph mem)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Obs.add "runtime.tiles" metrics.Executor.m_tiles;
+  Obs.add "runtime.edges" graph.Tile_graph.n_edges;
+  Obs.add "runtime.steals" metrics.Executor.m_steals;
+  Obs.add "runtime.barrier_waits" metrics.Executor.m_barrier_waits;
+  Obs.add "runtime.race_violations" (List.length metrics.Executor.m_violations);
+  Obs.add "runtime.workers" jobs;
+  Obs.add "runtime.busy_us"
+    (int_of_float
+       (1e6 *. Array.fold_left ( +. ) 0.0 metrics.Executor.m_busy_s));
+  { mem; graph; metrics; wall_s }

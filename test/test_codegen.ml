@@ -48,14 +48,14 @@ let rec count_ifs = function
   | Ast.If (_, b) -> 1 + count_ifs b
   | Ast.For { body; _ } -> count_ifs body
   | Ast.Block ts -> List.fold_left (fun a t -> a + count_ifs t) 0 ts
-  | Ast.Kernel (_, t) -> count_ifs t
+  | Ast.Kernel (_, t) | Ast.Point t -> count_ifs t
   | Ast.Call _ | Ast.Nop -> 0
 
 let rec count_calls = function
   | Ast.If (_, b) -> count_calls b
   | Ast.For { body; _ } -> count_calls body
   | Ast.Block ts -> List.fold_left (fun a t -> a + count_calls t) 0 ts
-  | Ast.Kernel (_, t) -> count_calls t
+  | Ast.Kernel (_, t) | Ast.Point t -> count_calls t
   | Ast.Call _ -> 1
   | Ast.Nop -> 0
 

@@ -1,0 +1,231 @@
+(* Parallel tile-graph runtime tests: the sequential interpreter
+   ([Interp.run] via [Cpu_model.run_to_memory], same deterministic
+   fill) is the oracle for every executor mode -- a correct tile graph
+   makes the parallel result bit-identical because every conflicting
+   tile pair stays ordered by a sequence-order edge.
+
+   Covers: differential parallel-vs-sequential over registry workloads
+   and fuzz seeds, tile-graph extraction invariants and exact edge
+   counts on conv2d/jacobi, the conservative wavefront fallback, and
+   the race checker itself (which must fire on a deliberately reversed
+   execution order and stay silent on a valid one). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let compile ?(tile = 8) p = Exp_util.ours ~tile ~target:Core.Pipeline.Cpu p
+
+let deps_of p (v : Exp_util.version) =
+  match v.Exp_util.flavor with
+  | Exp_util.Ours c -> c.Core.Pipeline.deps
+  | Exp_util.Naive | Exp_util.Baseline _ -> Deps.compute p
+
+let live_out_equal p m1 m2 =
+  List.for_all (fun a -> Interp.arrays_equal m1 m2 a) p.Prog.live_out
+
+(* Run one workload through the runtime in [mode] with [jobs] workers
+   (race-checked) and compare its live-out arrays against the
+   sequential interpreter. *)
+let differential ?mode ~jobs p (v : Exp_util.version) =
+  let deps = deps_of p v in
+  let r = Runtime.run ~jobs ?mode ~race_check:true p ~deps v.Exp_util.ast in
+  let oracle = Cpu_model.run_to_memory p v.Exp_util.ast in
+  check bool
+    (Printf.sprintf "%s: no race violations" p.Prog.prog_name)
+    true
+    (r.Runtime.metrics.Executor.m_violations = []);
+  check bool
+    (Printf.sprintf "%s: parallel result matches Interp.run" p.Prog.prog_name)
+    true
+    (live_out_equal p r.Runtime.mem oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: registry workloads, both flows, 4 workers             *)
+(* ------------------------------------------------------------------ *)
+
+let registry_workloads = [ "conv2d"; "unsharp_mask"; "harris"; "jacobi_unrolled"; "2mm" ]
+
+let test_registry_parallel () =
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let p = e.Registry.small () in
+      differential ~jobs:4 p (compile p))
+    registry_workloads
+
+let test_registry_smartfuse_parallel () =
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let p = e.Registry.small () in
+      let v = Exp_util.heuristic ~tile:8 ~target:Core.Pipeline.Cpu Fusion.Smartfuse p in
+      differential ~jobs:4 p v)
+    [ "conv2d"; "harris"; "2mm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: random pipelines                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_parallel () =
+  List.iter
+    (fun seed ->
+      let p = Random_pipeline.generate Random_pipeline.default_config ~seed in
+      let v = Exp_util.ours ~tile:5 ~target:Core.Pipeline.Cpu p in
+      differential ~jobs:4 p v)
+    [ 0; 2000; 3000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tile-graph extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of ?(tile = 8) name =
+  let e = Registry.find name in
+  let p = e.Registry.small () in
+  let v = compile ~tile p in
+  (p, v, Tile_graph.extract p ~deps:(deps_of p v) v.Exp_util.ast)
+
+let graph_invariants (g : Tile_graph.t) =
+  let n = Tile_graph.n_items g in
+  (* edges go from lower to higher id, so id order is a valid schedule *)
+  Array.iteri
+    (fun i succs -> List.iter (fun j -> check bool "edge i<j" true (i < j)) succs)
+    g.Tile_graph.succs;
+  let edge_count = Array.fold_left (fun a s -> a + List.length s) 0 g.Tile_graph.succs in
+  check int "n_edges consistent with succs" g.Tile_graph.n_edges edge_count;
+  let pred_total = Array.fold_left ( + ) 0 g.Tile_graph.preds in
+  check int "preds consistent with succs" edge_count pred_total;
+  (* wavefront levels respect every edge *)
+  let levels = Tile_graph.levels g in
+  check int "one level per item" n (Array.length levels);
+  Array.iteri
+    (fun i succs ->
+      List.iter (fun j -> check bool "level increases along edges" true (levels.(i) < levels.(j))) succs)
+    g.Tile_graph.succs
+
+let test_extract_conv2d () =
+  let _, _, g = graph_of "conv2d" in
+  check int "conv2d tiles" 4 (Tile_graph.n_items g);
+  check int "conv2d edges" 6 g.Tile_graph.n_edges;
+  check bool "conv2d analyzable" false g.Tile_graph.has_opaque;
+  graph_invariants g
+
+let test_extract_jacobi () =
+  let _, _, g = graph_of "jacobi_unrolled" in
+  check int "jacobi tiles" 8 (Tile_graph.n_items g);
+  check int "jacobi edges" 7 g.Tile_graph.n_edges;
+  graph_invariants g
+
+let test_extract_harris_invariants () =
+  let _, _, g = graph_of "harris" in
+  check bool "harris has multiple tiles" true (Tile_graph.n_items g > 1);
+  check bool "harris has edges" true (g.Tile_graph.n_edges > 0);
+  graph_invariants g
+
+let test_extract_deterministic () =
+  let p, v, g1 = graph_of "harris" in
+  let g2 = Tile_graph.extract p ~deps:(deps_of p v) v.Exp_util.ast in
+  check int "same tiles" (Tile_graph.n_items g1) (Tile_graph.n_items g2);
+  check int "same edges" g1.Tile_graph.n_edges g2.Tile_graph.n_edges;
+  Array.iteri
+    (fun i s -> check bool "same succs" true (s = g2.Tile_graph.succs.(i)))
+    g1.Tile_graph.succs
+
+let test_max_tiles_cap () =
+  let e = Registry.find "harris" in
+  let p = e.Registry.small () in
+  let v = compile p in
+  let g = Tile_graph.extract ~max_tiles:2 p ~deps:(deps_of p v) v.Exp_util.ast in
+  (* the cap is soft: coarsened subtrees still execute correctly *)
+  check bool "capped below full graph" true (Tile_graph.n_items g <= 4);
+  let mem = Interp.alloc p in
+  Cpu_model.deterministic_fill p mem;
+  ignore (Executor.run_sequential p g mem);
+  let oracle = Cpu_model.run_to_memory p v.Exp_util.ast in
+  check bool "coarsened graph still correct" true (live_out_equal p mem oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Executor modes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_wavefront_mode () =
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let p = e.Registry.small () in
+      differential ~mode:Executor.Wavefront ~jobs:3 p (compile p))
+    [ "harris"; "conv2d" ]
+
+let test_seq_mode () =
+  let e = Registry.find "unsharp_mask" in
+  let p = e.Registry.small () in
+  differential ~mode:Executor.Seq ~jobs:4 p (compile p)
+
+let test_default_mode () =
+  let _, _, g = graph_of "conv2d" in
+  check bool "analyzable graph runs dag" true (Runtime.default_mode g = Executor.Dag)
+
+(* ------------------------------------------------------------------ *)
+(* Race checker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The checker must fire when tiles run in an order that breaks a
+   dependence edge: execute harris's tiles in reverse id order, so
+   every consumer tile reads cells whose producer has not completed. *)
+let test_race_checker_fires () =
+  let e = Registry.find "harris" in
+  let p = e.Registry.small () in
+  let v = compile p in
+  let g = Tile_graph.extract p ~deps:(deps_of p v) v.Exp_util.ast in
+  check bool "needs edges for the test to mean anything" true (g.Tile_graph.n_edges > 0);
+  let n = Tile_graph.n_items g in
+  let reversed = Array.init n (fun i -> n - 1 - i) in
+  let mem = Interp.alloc p in
+  Cpu_model.deterministic_fill p mem;
+  let m = Executor.run_sequential ~order:reversed ~race_check:true p g mem in
+  check bool "reversed order trips the race checker" true
+    (m.Executor.m_violations <> []);
+  List.iter
+    (fun (viol : Executor.violation) ->
+      check bool "violation names a real writer tile" true
+        (viol.Executor.v_writer >= 0 && viol.Executor.v_writer < n);
+      check bool "reader ran before its producer" true
+        (viol.Executor.v_writer <> viol.Executor.v_tile))
+    m.Executor.m_violations
+
+let test_race_checker_silent_on_valid_order () =
+  let e = Registry.find "harris" in
+  let p = e.Registry.small () in
+  let v = compile p in
+  let g = Tile_graph.extract p ~deps:(deps_of p v) v.Exp_util.ast in
+  let mem = Interp.alloc p in
+  Cpu_model.deterministic_fill p mem;
+  let m = Executor.run_sequential ~race_check:true p g mem in
+  check bool "id order is race-free" true (m.Executor.m_violations = [])
+
+let () =
+  Harness.run "runtime"
+    [ ( "differential",
+        [ Alcotest.test_case "registry x ours, 4 workers" `Slow test_registry_parallel;
+          Alcotest.test_case "registry x smartfuse, 4 workers" `Slow
+            test_registry_smartfuse_parallel;
+          Alcotest.test_case "fuzz seeds 0/2000/3000" `Slow test_fuzz_parallel
+        ] );
+      ( "tile-graph",
+        [ Alcotest.test_case "conv2d counts" `Quick test_extract_conv2d;
+          Alcotest.test_case "jacobi counts" `Quick test_extract_jacobi;
+          Alcotest.test_case "harris invariants" `Quick test_extract_harris_invariants;
+          Alcotest.test_case "deterministic" `Quick test_extract_deterministic;
+          Alcotest.test_case "max-tiles cap" `Quick test_max_tiles_cap
+        ] );
+      ( "modes",
+        [ Alcotest.test_case "wavefront" `Slow test_wavefront_mode;
+          Alcotest.test_case "sequential" `Quick test_seq_mode;
+          Alcotest.test_case "default mode" `Quick test_default_mode
+        ] );
+      ( "race-checker",
+        [ Alcotest.test_case "fires on reversed order" `Quick test_race_checker_fires;
+          Alcotest.test_case "silent on valid order" `Quick
+            test_race_checker_silent_on_valid_order
+        ] )
+    ]

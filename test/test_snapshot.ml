@@ -34,7 +34,8 @@ let sample_snapshot ?(workload = "conv2d") ?(flow = "ours")
         tr_write_bytes = 784;
         tr_staged_bytes = 256
       };
-    ast = { Snapshot.ast_loops = 10; ast_kernels = 2; ast_nodes = 18 }
+    ast = { Snapshot.ast_loops = 10; ast_kernels = 2; ast_nodes = 18 };
+    speedup = None
   }
 
 let sample_db ?label ?(snapshots = [ sample_snapshot () ]) () =
