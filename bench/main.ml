@@ -18,6 +18,10 @@
                             [--time-floor S] [--json]
                                     diff two snapshots; exit 1 on
                                     regression (the CI gate), 2 on error
+     bench/main.exe report --base FILE --cand FILE
+                                    per-array traffic-attribution diff
+                                    between two snapshots (informational,
+                                    never gates)
      bench/main.exe parallel [--small] [--workloads a,b] [--jobs N]
                              [--tile N] [--repeat R] [--warmup W]
                              [--out FILE] [--label L]
@@ -167,6 +171,12 @@ let collect_one ~small (e : Registry.entry) (flow_name, compile) =
     let report = Exp_util.cpu_profile p v in
     let clusters = Exp_util.clusters p v in
     let traffic = Footprints.program_traffic p clusters in
+    let attribution =
+      List.map
+        (fun (a, (tr : Footprints.traffic)) ->
+          (a, tr.Footprints.read_bytes, tr.Footprints.write_bytes))
+        (Footprints.program_traffic_by_array p clusters)
+    in
     (* parallel runtime: one sequential and one 2-worker execution, so
        the runtime.* counters land in the counters map and the
        wall-clock ratio becomes the snapshot's (noisy, non-gating)
@@ -190,7 +200,8 @@ let collect_one ~small (e : Registry.entry) (flow_name, compile) =
           })
         report.Cpu_model.cache
     in
-    Snapshot.capture ?speedup ~workload:e.Registry.reg_name ~flow:flow_name
+    Snapshot.capture ?speedup ~attribution ~workload:e.Registry.reg_name
+      ~flow:flow_name
       ~compile_s:v.Exp_util.compile_s ~cache_levels
       ~dram_accesses:report.Cpu_model.dram
       ~traffic:
@@ -333,6 +344,98 @@ let regress_cmd args =
     print_string (Bench_db.summary_table deltas)
   end;
   exit (Bench_db.gate deltas)
+
+(* ------------------------------------------------------------------ *)
+(* report: per-array traffic-attribution diff between two snapshots    *)
+(* ------------------------------------------------------------------ *)
+
+(* Informational (never gates): shows where the traffic moved when the
+   totals changed, array by array. Pairs snapshots by workload x flow
+   like regress does; snapshots without attribution (pre-v3 files, the
+   naive flow) are skipped with a note. *)
+let report_cmd args =
+  let base = ref None in
+  let cand = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--base" :: f :: rest ->
+        base := Some f;
+        parse rest
+    | "--cand" :: f :: rest ->
+        cand := Some f;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "report: unknown argument %s" a)
+  in
+  parse args;
+  let required name r =
+    match !r with
+    | Some f -> f
+    | None -> usage_error (Printf.sprintf "report: %s FILE is required" name)
+  in
+  let load name file =
+    match Bench_db.load file with
+    | Ok db -> db
+    | Error msg -> usage_error (Printf.sprintf "%s: %s" name msg)
+  in
+  let base_db = load "--base" (required "--base" base) in
+  let cand_db = load "--cand" (required "--cand" cand) in
+  Printf.printf "attribution report: %s (%s) -> %s (%s)\n" base_db.Bench_db.label
+    base_db.Bench_db.created cand_db.Bench_db.label cand_db.Bench_db.created;
+  let key (s : Snapshot.t) = (s.Snapshot.workload, s.Snapshot.flow) in
+  let find db k =
+    List.find_opt (fun s -> key s = k) db.Bench_db.snapshots
+  in
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Snapshot.t) ->
+      let w, f = key b in
+      match find cand_db (w, f) with
+      | None -> Printf.printf "  %s/%s: missing from candidate\n" w f
+      | Some c -> (
+          match (b.Snapshot.attribution, c.Snapshot.attribution) with
+          | None, _ | _, None ->
+              Printf.printf "  %s/%s: no attribution recorded (pre-v3 \
+                             snapshot or naive flow)\n" w f
+          | Some ba, Some ca ->
+              let arrays =
+                List.sort_uniq compare
+                  (List.map (fun (a, _, _) -> a) (ba @ ca))
+              in
+              let lookup rows a =
+                match List.find_opt (fun (n, _, _) -> n = a) rows with
+                | Some (_, r, wr) -> (r, wr)
+                | None -> (0, 0)
+              in
+              let rows =
+                List.filter_map
+                  (fun a ->
+                    let br, bw = lookup ba a in
+                    let cr, cw = lookup ca a in
+                    if br = cr && bw = cw then None
+                    else
+                      Some
+                        [ a;
+                          string_of_int br; string_of_int cr;
+                          Printf.sprintf "%+d" (cr - br);
+                          string_of_int bw; string_of_int cw;
+                          Printf.sprintf "%+d" (cw - bw)
+                        ])
+                  arrays
+              in
+              if rows = [] then
+                Printf.printf "  %s/%s: attribution unchanged (%d arrays)\n" w
+                  f (List.length arrays)
+              else begin
+                incr changed;
+                Printf.printf "  %s/%s:\n" w f;
+                Exp_util.print_table
+                  ~header:
+                    [ "array"; "read"; "read'"; "dread"; "write"; "write'";
+                      "dwrite" ]
+                  rows
+              end))
+    base_db.Bench_db.snapshots;
+  Printf.printf "%d workload/flow pair(s) with attribution changes\n" !changed
 
 (* ------------------------------------------------------------------ *)
 (* parallel: jobs sweep over the tile-graph execution runtime          *)
@@ -517,6 +620,7 @@ let () =
       Paper_experiments.run_all ()
   | "snapshot" :: rest -> snapshot_cmd rest
   | "regress" :: rest -> regress_cmd rest
+  | "report" :: rest -> report_cmd rest
   | "parallel" :: rest -> parallel_cmd rest
   | names ->
       List.iter

@@ -66,7 +66,7 @@ let trace_arg =
            spans (load in about://tracing or Perfetto). The MEMCOMP_TRACE \
            environment variable is used as a fallback destination.")
 
-let obs_begin ~stats ~trace =
+let obs_begin ?(json = false) ~stats ~trace () =
   let trace =
     match trace with Some _ -> trace | None -> Sys.getenv_opt "MEMCOMP_TRACE"
   in
@@ -82,7 +82,11 @@ let obs_begin ~stats ~trace =
         | exception Sys_error msg ->
             Printf.eprintf "warning: could not write trace: %s\n%!" msg)
     | None -> ());
-    if stats then print_string (Obs.stats_table ())
+    (* with machine-readable output on stdout the human tables go to
+       stderr, so piping the JSON stays clean *)
+    if stats then
+      if json then output_string stderr (Obs.stats_table ())
+      else print_string (Obs.stats_table ())
 
 let workload_arg =
   Arg.(
@@ -173,7 +177,7 @@ let compile_cmd =
     Arg.(value & flag & info [ "tree" ] ~doc:"Print the schedule tree.")
   in
   let run workload tile small flow tree_flag stats trace =
-    let finish = obs_begin ~stats ~trace in
+    let finish = obs_begin ~stats ~trace () in
     let prog = prog_of workload small in
     let v = version_of flow ~tile prog in
     Printf.printf "workload %s, flow %s (compiled in %.3fs)\n\n" workload
@@ -218,7 +222,7 @@ let run_cmd =
              detected violations exit with code 3.")
   in
   let run workload tile small flow threads par jobs race_check stats trace =
-    let finish = obs_begin ~stats ~trace in
+    let finish = obs_begin ~stats ~trace () in
     let prog = prog_of workload small in
     let v = version_of flow ~tile prog in
     let report = Exp_util.cpu_profile prog v in
@@ -257,7 +261,7 @@ let compare_cmd =
      nonzero if any flow's live-out values mismatch the naive reference."
   in
   let run workload tile small stats trace =
-    let finish = obs_begin ~stats ~trace in
+    let finish = obs_begin ~stats ~trace () in
     let prog = prog_of workload small in
     let reference = Exp_util.naive prog in
     let flows =
@@ -295,10 +299,56 @@ let compare_cmd =
     (Cmd.info "compare" ~doc)
     Term.(const run $ workload_arg $ tile_arg $ small_arg $ stats_arg $ trace_arg)
 
+let explain_cmd =
+  let doc =
+    "Explain how a workload was compiled and where its memory traffic goes: \
+     scheduler decision trace (fusion accept/reject with reasons, tile-shape \
+     candidates, post-tiling rewrites), polyhedral and measured per-array \
+     traffic attribution, reuse-distance histogram, and runtime tile \
+     timelines."
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as JSON instead of markdown (stdout stays \
+                machine-readable; --stats tables go to stderr).")
+  in
+  let run workload tile small flow jobs json stats trace =
+    (* the event log needs Obs enabled regardless of --stats/--trace *)
+    let finish = obs_begin ~json ~stats ~trace:None () in
+    let prog = prog_of workload small in
+    let jobs = resolve_jobs jobs in
+    let ex =
+      Explain.collect ~tile ~jobs ~workload
+        ~make:(fun p -> version_of flow ~tile p)
+        prog
+    in
+    if json then print_endline (Explain.to_json_string ex)
+    else print_string (Explain.to_markdown ex);
+    (* --trace here writes the merged trace: compiler spans + structured
+       decision/timeline events *)
+    (match trace with
+    | Some file -> (
+        match Events.write_chrome_trace file with
+        | () -> Printf.eprintf "merged trace written to %s\n%!" file
+        | exception Sys_error msg ->
+            Printf.eprintf "warning: could not write trace: %s\n%!" msg)
+    | None -> ());
+    finish ()
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ jobs_arg
+      $ json_flag $ stats_arg $ trace_arg)
+
 let () =
   let doc =
     "post-tiling fusion: compositing automatic transformations on computations \
      and data (MICRO 2020 reproduction)"
   in
   let info = Cmd.info "memcomp" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd ]))

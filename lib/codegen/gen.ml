@@ -217,8 +217,19 @@ let rec gen ctx active (node : Schedule_tree.t) : Ast.t =
       let parts = List.map (gen ctx active) cs in
       Ast.Block (List.filter (fun p -> p <> Ast.Nop) parts)
   | Schedule_tree.Mark ("skipped", _) -> Ast.Nop
-  | Schedule_tree.Mark ("kernel", child) ->
-      let id = !(ctx.kernel_counter) in
+  | Schedule_tree.Mark (m, child)
+    when m = "kernel" || String.starts_with ~prefix:"kernel:" m ->
+      (* "kernel:<n>" pins the kernel id to the scheduler's space id so
+         every phase names the same entity; a bare "kernel" mark falls
+         back to generation order. *)
+      let id =
+        match String.index_opt m ':' with
+        | Some i -> (
+            match int_of_string_opt (String.sub m (i + 1) (String.length m - i - 1)) with
+            | Some n -> n
+            | None -> !(ctx.kernel_counter))
+        | None -> !(ctx.kernel_counter)
+      in
       incr ctx.kernel_counter;
       Ast.Kernel (id, gen ctx active child)
   | Schedule_tree.Mark ("point", child) -> (

@@ -15,6 +15,48 @@ type compiled = {
 let default_sizes ~tile_size (s : Spaces.t) =
   Array.make s.Spaces.group.Fusion.band_dims tile_size
 
+(* Advisory tile-shape trace for [memcomp explain]: for every live-out
+   space, log the halved/configured/doubled size candidates with the
+   per-tile iteration count and a data-footprint estimate (4 bytes per
+   element across the arrays the group touches). Only the configured
+   sizes are acted on, so compilation is unchanged. *)
+let emit_tile_shape_trace p spaces tile_sizes_for =
+  if Obs.is_enabled () then
+    List.iter
+      (fun (s : Spaces.t) ->
+        if s.Spaces.live_out && s.Spaces.group.Fusion.band_dims > 0 then begin
+          let g = s.Spaces.group in
+          let arrays =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun name ->
+                   let st = Prog.find_stmt p name in
+                   st.Prog.write.Prog.array
+                   :: List.map (fun (a : Prog.access) -> a.Prog.array) st.Prog.reads)
+                 g.Fusion.stmts)
+          in
+          let chosen = tile_sizes_for s in
+          let candidate label scale =
+            let sizes = Array.map (fun v -> max 1 (scale v)) chosen in
+            let points = Array.fold_left ( * ) 1 sizes in
+            Events.emit ~cat:"tiling" "tile_shape.candidate"
+              [ ("space", Events.I s.Spaces.id);
+                ("which", Events.S label);
+                ( "sizes",
+                  Events.S
+                    (String.concat "x"
+                       (List.map string_of_int (Array.to_list sizes))) );
+                ("points_per_tile", Events.I points);
+                ("est_bytes_per_tile", Events.I (points * 4 * List.length arrays));
+                ("chosen", Events.B (label = "configured"))
+              ]
+          in
+          candidate "halved" (fun v -> v / 2);
+          candidate "configured" (fun v -> v);
+          candidate "doubled" (fun v -> v * 2)
+        end)
+      spaces
+
 (* The start-up fusion defaults to Smartfuse: our IR splits imperfect
    nests into consecutive perfect nests, so the nest-level "minfuse"
    grouping the paper starts from (which keeps an initialization
@@ -37,6 +79,7 @@ let run ?(startup = Fusion.Smartfuse) ?(tile_size = 32) ?tile_sizes_for
     | Some f -> f
     | None -> default_sizes ~tile_size
   in
+  emit_tile_shape_trace prog spaces tile_sizes_for;
   let plan =
     Obs.span "pipeline.post_tiling" (fun () ->
         Post_tiling.plan prog ~spaces ~tile_sizes_for ~parallelism_cap:cap
@@ -69,17 +112,22 @@ type baseline = {
    each fusion group; inner per-statement bands stay untiled. *)
 let tiled_tree (p : Prog.t) (r : Fusion.result) ~tile_size =
   let open Schedule_tree in
-  let tile_group = function
+  (* "kernel:<i>" carries the fusion-group index into the generated
+     AST's [Kernel] id (stable entity naming; see post_tiling.ml). *)
+  let tile_group i = function
     | Filter (f, Band (b, child)) when b.permutable && b.n_members > 0 ->
         let sizes = Array.make b.n_members tile_size in
         let tile, point = tile_band b ~tile_sizes:sizes ~prefix:"T_" in
         Filter
-          (f, Mark ("kernel", Band (tile, Mark ("point", Band (point, child)))))
+          ( f,
+            Mark
+              ( Printf.sprintf "kernel:%d" i,
+                Band (tile, Mark ("point", Band (point, child))) ) )
     | other -> other
   in
   match Build_tree.initial_tree p r with
-  | Domain (d, Sequence cs) -> Domain (d, Sequence (List.map tile_group cs))
-  | Domain (d, single) -> Domain (d, tile_group single)
+  | Domain (d, Sequence cs) -> Domain (d, Sequence (List.mapi tile_group cs))
+  | Domain (d, single) -> Domain (d, tile_group 0 single)
   | other -> other
 
 let run_heuristic ?(tile_size = 32) ?max_steps ?fuse_reductions ~target

@@ -57,6 +57,11 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
     processed_roots := !processed_roots @ [ s.Spaces.id ];
     if not (tilable s ~parallelism_cap) then begin
       Obs.count "post_tiling.standalone";
+      Events.emit ~cat:"post_tiling" "post_tiling.standalone"
+        [ ("space", Events.I s.Spaces.id);
+          ("stmts", Events.S (String.concat "+" s.Spaces.group.Fusion.stmts));
+          ("reason", Events.S "untilable")
+        ];
       standalone := !standalone @ [ s.Spaces.id ]
     end
     else begin
@@ -223,12 +228,20 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
           match acc with
           | Some _ -> acc
           | None ->
-              if shared_ok id root_ids && coverage_ok id root_ids then None
-              else Some id)
+              if not (shared_ok id root_ids) then
+                Some (id, "shared_overlap", root_ids)
+              else if not (coverage_ok id root_ids) then
+                Some (id, "consumer_coverage", root_ids)
+              else None)
         fused_status None
     in
     match offender with
-    | Some id ->
+    | Some (id, predicate, root_ids) ->
+        Events.emit ~cat:"post_tiling" "post_tiling.unfuse"
+          [ ("space", Events.I id);
+            ("failed_predicate", Events.S predicate);
+            ("roots", Events.S (String.concat "+" (List.map string_of_int root_ids)))
+          ];
         unfuse_everywhere id;
         fixpoint ()
     | None ->
@@ -263,6 +276,14 @@ let plan ?(fusable = fun (_ : Spaces.t) -> true) ?recompute_limit (p : Prog.t)
               unclaimed
         | _ :: _ ->
             Obs.add "post_tiling.promotions" (List.length promotable);
+            Events.emit ~cat:"post_tiling" "post_tiling.promote"
+              [ ( "spaces",
+                  Events.S
+                    (String.concat "+"
+                       (List.map
+                          (fun (s : Spaces.t) -> string_of_int s.Spaces.id)
+                          promotable)) )
+              ];
             List.iter run_root promotable;
             fixpoint ()
   in
@@ -355,10 +376,13 @@ let root_subtree (p : Prog.t) ~spaces (r : root) =
         in
         Schedule_tree.Extension (ext_union, Schedule_tree.Sequence children)
   in
+  (* "kernel:<space-id>" makes the generated [Ast.Kernel] id equal the
+     scheduler-side space id, so decision-trace events and interp-side
+     attribution name the same entity. *)
   Schedule_tree.Filter
     ( Build_tree.stmt_filter p g.Fusion.stmts,
       Schedule_tree.Mark
-        ( "kernel",
+        ( Printf.sprintf "kernel:%d" liveout.Spaces.id,
           Schedule_tree.Band
             (tile_band_of r.tiling liveout, Schedule_tree.Mark ("point", body))
         ) )
@@ -378,7 +402,7 @@ let to_tree (p : Prog.t) ~spaces (pl : plan) =
       match List.assoc_opt s.Spaces.id pl.residual with
       | Some rest ->
           Schedule_tree.Mark
-            ( "kernel",
+            ( Printf.sprintf "kernel:%d" s.Spaces.id,
               Build_tree.group_subtree ~only:rest p s.Spaces.group
                 ~name:(Build_tree.band_name s.Spaces.id) )
       | None -> (
@@ -386,7 +410,7 @@ let to_tree (p : Prog.t) ~spaces (pl : plan) =
       | Some r -> root_subtree p ~spaces r
       | None ->
           Schedule_tree.Mark
-            ( "kernel",
+            ( Printf.sprintf "kernel:%d" s.Spaces.id,
               Build_tree.group_subtree p s.Spaces.group
                 ~name:(Build_tree.band_name s.Spaces.id) ))
   in

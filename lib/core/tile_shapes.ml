@@ -160,6 +160,14 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
           (* the m > n guard: fusing would destroy the live-out space's
              parallelism; reject (line 8). *)
           Obs.count "tile_shapes.parallelism_reject";
+          Events.emit ~cat:"tiling" "tile_shapes.reject"
+            [ ("liveout", Events.I liveout.Spaces.id);
+              ("space", Events.I space.Spaces.id);
+              ("stmts", Events.S (String.concat "+" space.Spaces.group.Fusion.stmts));
+              ("reason", Events.S "parallelism");
+              ("liveout_parallel", Events.I m);
+              ("space_parallel", Events.I n)
+            ];
           loop fmap pending extensions (space.Spaces.id :: untiled)
         end
         else begin
@@ -222,6 +230,12 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
                        nest together with its exclusive producers (the
                        paper's equake case). *)
                     Obs.count "tile_shapes.guard_blocked";
+                    Events.emit ~cat:"tiling" "tile_shapes.reject"
+                      [ ("liveout", Events.I liveout.Spaces.id);
+                        ("space", Events.I space.Spaces.id);
+                        ("stmt", Events.S name);
+                        ("reason", Events.S "dynamic_guard")
+                      ];
                     stmt_loop fmap
                       (List.filter (fun s -> s <> name) remaining)
                       (name :: blocked) ext_pieces
@@ -236,10 +250,19 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
                         (Imap.apply_range_approx f
                            (Imap.of_bmap (Bmap.reverse write_rel)))
                     in
-                    if recompute_ratio p stmt ext_s > recompute_limit then begin
+                    let ratio = recompute_ratio p stmt ext_s in
+                    if ratio > recompute_limit then begin
                       (* fusing this statement would recompute it nearly
                          wholesale in every tile: reject (cost model) *)
                       Obs.count "tile_shapes.recompute_reject";
+                      Events.emit ~cat:"tiling" "tile_shapes.reject"
+                        [ ("liveout", Events.I liveout.Spaces.id);
+                          ("space", Events.I space.Spaces.id);
+                          ("stmt", Events.S name);
+                          ("reason", Events.S "recompute_cost");
+                          ("ratio", Events.F ratio);
+                          ("limit", Events.F recompute_limit)
+                        ];
                       stmt_loop fmap
                         (List.filter (fun s -> s <> name) remaining)
                         (name :: blocked) ext_pieces
@@ -280,10 +303,22 @@ let construct ?(recompute_limit = 4.0) (p : Prog.t) ~(liveout : Spaces.t)
           in
           if ext_pieces = [] then begin
             Obs.count "tile_shapes.untiled";
+            Events.emit ~cat:"tiling" "tile_shapes.reject"
+              [ ("liveout", Events.I liveout.Spaces.id);
+                ("space", Events.I space.Spaces.id);
+                ("stmts", Events.S (String.concat "+" space.Spaces.group.Fusion.stmts));
+                ("reason", Events.S "no_extension_schedule")
+              ];
             loop fmap pending extensions (space.Spaces.id :: untiled)
           end
           else begin
             Obs.count "tile_shapes.extensions";
+            Events.emit ~cat:"tiling" "tile_shapes.extend"
+              [ ("liveout", Events.I liveout.Spaces.id);
+                ("space", Events.I space.Spaces.id);
+                ("stmts", Events.S (String.concat "+" space.Spaces.group.Fusion.stmts));
+                ("via", Events.S (String.concat "+" via_arrays))
+              ];
             let ext_rel = Imap.coalesce (Imap.of_bmaps ext_pieces) in
             let extension =
               { space_id = space.Spaces.id; ext_rel; via_arrays; parents }

@@ -89,7 +89,7 @@ let profile ?seed ?cache (p : Prog.t) ast =
   let per_kernel_mem : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let per_kernel_dram : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let dram_latency = 200 in
-  let observer ~kernel ~addr ~write =
+  let observer ~kernel ~stmt:_ ~addr ~write =
     let lat = Cache.access cache ~addr ~write in
     let dram = if lat >= dram_latency then dram_latency else 0 in
     Hashtbl.replace per_kernel_mem kernel

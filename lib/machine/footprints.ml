@@ -259,9 +259,21 @@ let access_transactions p (c : cluster) stmt_name (acc : Prog.access) =
   in
   Imap.card (Imap.coalesce rel)
 
-let cluster_traffic (p : Prog.t) ~previous (c : cluster) =
+(* Per-array attribution is the primitive; the totals below are defined
+   as sums over it, so per-array traffic always adds up to the program
+   totals exactly (the same integer terms, regrouped). *)
+let cluster_traffic_by_array (p : Prog.t) ~previous (c : cluster) =
+  ignore previous;
+  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let cell a =
+    match Hashtbl.find_opt tbl a with
+    | Some c -> c
+    | None ->
+        let c = (ref 0, ref 0) in
+        Hashtbl.add tbl a c;
+        c
+  in
   let written_here = written_arrays p c in
-  let read_bytes = ref 0 in
   List.iter
     (fun stmt_name ->
       let stmt = Prog.find_stmt p stmt_name in
@@ -269,17 +281,14 @@ let cluster_traffic (p : Prog.t) ~previous (c : cluster) =
         (fun (acc : Prog.access) ->
           let a = acc.Prog.array in
           if List.mem a written_here || List.mem a c.staged_arrays then ()
-          else read_bytes := !read_bytes + (elem_bytes * access_transactions p c stmt_name acc))
+          else begin
+            let r, _ = cell a in
+            r := !r + (elem_bytes * access_transactions p c stmt_name acc)
+          end)
         stmt.Prog.reads)
     c.stmts;
-  (* writes: arrays live-out, or read by a cluster other than the ones
-     already executed (conservatively: any other cluster in the program
-     reading them would need memory; we only know previous, so write back
-     unless the array is staged). *)
-  ignore previous;
   (* write-back: one transaction per element finally written, counting
      each array once even when several statements update it *)
-  let write_bytes = ref 0 in
   List.iter
     (fun a ->
       if List.mem a c.staged_arrays then ()
@@ -299,23 +308,53 @@ let cluster_traffic (p : Prog.t) ~previous (c : cluster) =
                  else None)
                c.stmts)
         in
-        write_bytes := !write_bytes + (elem_bytes * Presburger.Iset.card region)
+        let _, w = cell a in
+        w := !w + (elem_bytes * Presburger.Iset.card region)
       end)
     (written_arrays p c);
-  { read_bytes = !read_bytes; write_bytes = !write_bytes }
+  Hashtbl.fold
+    (fun a (r, w) acc -> (a, { read_bytes = !r; write_bytes = !w }) :: acc)
+    tbl []
+  |> List.sort compare
+
+let cluster_traffic (p : Prog.t) ~previous (c : cluster) =
+  List.fold_left
+    (fun acc (_, t) ->
+      { read_bytes = acc.read_bytes + t.read_bytes;
+        write_bytes = acc.write_bytes + t.write_bytes
+      })
+    { read_bytes = 0; write_bytes = 0 }
+    (cluster_traffic_by_array p ~previous c)
+
+let program_traffic_by_array (p : Prog.t) clusters =
+  let tbl : (string, traffic) Hashtbl.t = Hashtbl.create 8 in
+  let rec go prev = function
+    | [] -> ()
+    | c :: rest ->
+        List.iter
+          (fun (a, t) ->
+            let acc =
+              Option.value ~default:{ read_bytes = 0; write_bytes = 0 }
+                (Hashtbl.find_opt tbl a)
+            in
+            Hashtbl.replace tbl a
+              { read_bytes = acc.read_bytes + t.read_bytes;
+                write_bytes = acc.write_bytes + t.write_bytes
+              })
+          (cluster_traffic_by_array p ~previous:prev c);
+        go (prev @ [ c ]) rest
+  in
+  go [] clusters;
+  Hashtbl.fold (fun a t acc -> (a, t) :: acc) tbl [] |> List.sort compare
 
 let program_traffic (p : Prog.t) clusters =
-  let rec go prev acc = function
-    | [] -> acc
-    | c :: rest ->
-        let t = cluster_traffic p ~previous:prev c in
-        go (prev @ [ c ])
-          { read_bytes = acc.read_bytes + t.read_bytes;
-            write_bytes = acc.write_bytes + t.write_bytes
-          }
-          rest
-  in
-  go [] { read_bytes = 0; write_bytes = 0 } clusters
+  List.fold_left
+    (fun acc (_, t) ->
+      { read_bytes = acc.read_bytes + t.read_bytes;
+        write_bytes = acc.write_bytes + t.write_bytes
+      })
+    { read_bytes = 0; write_bytes = 0 }
+    (program_traffic_by_array p clusters)
 
 let staged_bytes (p : Prog.t) (c : cluster) =
   (* maximum over tiles of the staged-array footprints ~ footprint of an

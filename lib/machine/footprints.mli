@@ -46,6 +46,16 @@ val cluster_traffic : Prog.t -> previous:cluster list -> cluster -> traffic
     to decide write-back of intermediates read later). The full program
     live-out set always forces write-back. *)
 
+val cluster_traffic_by_array :
+  Prog.t -> previous:cluster list -> cluster -> (string * traffic) list
+(** {!cluster_traffic} broken down by array (sorted by name). The
+    per-array attribution is the primitive the totals are defined over,
+    so its components sum to {!cluster_traffic} exactly. *)
+
+val program_traffic_by_array : Prog.t -> cluster list -> (string * traffic) list
+(** Per-array program traffic (sorted by name); sums component-wise to
+    {!program_traffic} exactly. *)
+
 val staged_bytes : Prog.t -> cluster -> int
 (** On-chip bytes needed per tile for the staged arrays (maximum over
     tiles of the staged footprints). *)

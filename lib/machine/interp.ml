@@ -80,6 +80,12 @@ let address_cells mem =
     (fun _ s acc -> max acc ((s.base / elem_bytes) + Array.length s.data))
     mem.arrays 0
 
+let array_spans mem =
+  Hashtbl.fold
+    (fun name s acc -> (name, s.base, Array.length s.data * elem_bytes) :: acc)
+    mem.arrays []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+
 (* Core AST walker shared by [run] and [tile_runner]. Builds its own
    statement table and stats record, so each instantiation is
    self-contained: workers of the parallel runtime create one per
@@ -99,9 +105,9 @@ let executor ?observer (p : Prog.t) mem =
   let stmt_tbl = Hashtbl.create 8 in
   List.iter (fun (s : Prog.stmt) -> Hashtbl.replace stmt_tbl s.Prog.stmt_name s) p.Prog.stmts;
   let kernel = ref (-1) in
-  let notify ~addr ~write =
+  let notify ~stmt ~addr ~write =
     match observer with
-    | Some f -> f ~kernel:!kernel ~addr ~write
+    | Some f -> f ~kernel:!kernel ~stmt ~addr ~write
     | None -> ()
   in
   let exec_call name args =
@@ -123,7 +129,7 @@ let executor ?observer (p : Prog.t) mem =
         in
         let flat = flat_index s ~array:a.Prog.array idxs in
         stats.reads <- stats.reads + 1;
-        notify ~addr:(s.base + (flat * elem_bytes)) ~write:false;
+        notify ~stmt:name ~addr:(s.base + (flat * elem_bytes)) ~write:false;
         s.data.(flat)
       in
       let values = Array.of_list (List.map read_value stmt.Prog.reads) in
@@ -135,7 +141,7 @@ let executor ?observer (p : Prog.t) mem =
       in
       let wflat = flat_index ws ~array:wa.Prog.array widxs in
       stats.writes <- stats.writes + 1;
-      notify ~addr:(ws.base + (wflat * elem_bytes)) ~write:true;
+      notify ~stmt:name ~addr:(ws.base + (wflat * elem_bytes)) ~write:true;
       ws.data.(wflat) <- result;
       stats.ops <- stats.ops + stmt.Prog.ops;
       Hashtbl.replace stats.per_kernel_ops !kernel

@@ -31,19 +31,24 @@ type stats = {
 }
 
 val run :
-  ?observer:(kernel:int -> addr:int -> write:bool -> unit) ->
+  ?observer:(kernel:int -> stmt:string -> addr:int -> write:bool -> unit) ->
   Prog.t -> Ast.t -> memory -> stats
 (** Raises [Invalid_argument] on out-of-bounds accesses, naming the
     array and index. Kernel id -1 denotes code outside any kernel
-    region. *)
+    region; [stmt] is the stable statement name executing the access. *)
 
 val address_cells : memory -> int
 (** Number of element-granular cells spanned by the allocated address
     space; observer [addr / elem_bytes] always falls below this. Used
     to size the parallel runtime's per-cell race-checker tables. *)
 
+val array_spans : memory -> (string * int * int) list
+(** [(name, base_byte, bytes)] per allocated array, sorted by base
+    address; lets trace observers attribute a raw address back to the
+    array it falls in. *)
+
 val tile_runner :
-  ?observer:(kernel:int -> addr:int -> write:bool -> unit) ->
+  ?observer:(kernel:int -> stmt:string -> addr:int -> write:bool -> unit) ->
   Prog.t ->
   memory ->
   stats * (?kernel:int -> env:(string * int) list -> Ast.t -> unit)

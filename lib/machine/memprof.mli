@@ -1,0 +1,55 @@
+(** Memory-hierarchy profiler: an {!Interp} access observer that builds
+    reuse-distance histograms and per-array / per-statement traffic
+    attribution from the interpreted access trace.
+
+    Reuse distance is measured at cache-line (64 B) granularity: the
+    number of {e distinct other} lines touched between two accesses to
+    the same line. Distances below a level's capacity in lines predict
+    hits at that level; cold (first-touch) accesses are counted apart
+    rather than folded into the largest bucket. DRAM attribution is
+    sampled through a private {!Cache} instance, so per-array DRAM
+    counts sum exactly to the cache's total. *)
+
+type t
+
+(** Attribution counters for one array or statement. [dram] counts
+    accesses that missed every cache level. *)
+type row = { accesses : int; reads : int; writes : int; dram : int }
+
+val create : ?cache:Cache.t -> Interp.memory -> t
+(** Profiler over the given memory layout. [cache] defaults to
+    [Cache.scaled_xeon ()]; pass an explicit one to model another
+    hierarchy. *)
+
+val observer : t -> kernel:int -> stmt:string -> addr:int -> write:bool -> unit
+(** Feed to [Interp.run ~observer]. Not thread-safe: profile through the
+    sequential interpreter, never from runtime workers. *)
+
+val per_array : t -> (string * row) list
+(** Attribution rows keyed by array name, sorted. *)
+
+val per_stmt : t -> (string * row) list
+(** Attribution rows keyed by statement name, sorted. *)
+
+val cache : t -> Cache.t
+(** The cache instance the profiler samples through. *)
+
+val total_accesses : t -> int
+
+val cold_misses : t -> int
+(** First-touch line accesses (infinite reuse distance). *)
+
+val distinct_lines : t -> int
+
+val reuse_histogram : t -> (int * int) list
+(** Non-empty log2 buckets of the global reuse-distance histogram as
+    [(bucket, count)]; see {!bucket_bounds} for the distance range a
+    bucket covers. Cold accesses are excluded. *)
+
+val reuse_histogram_of : t -> string -> (int * int) list
+(** Per-array reuse-distance histogram (distances still measured in the
+    global interleaved trace). *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] inclusive distance range of a histogram bucket:
+    bucket 0 is distance 0, bucket i covers [2^(i-1), 2^i - 1]. *)

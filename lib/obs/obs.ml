@@ -72,6 +72,8 @@ let reset () =
   depth := 0;
   epoch := now ()
 
+let elapsed_s () = now () -. !epoch
+
 let enable () = enabled := true
 
 let disable () = enabled := false
@@ -197,6 +199,9 @@ let spans_alist () =
     (fun name s acc -> (name, (s.calls, s.total_s, s.max_s)) :: acc)
     span_stats []
   |> List.sort (fun (_, (_, ta, _)) (_, (_, tb, _)) -> compare tb ta)
+
+let trace_events () =
+  List.rev_map (fun e -> (e.ev_name, e.ev_start_s, e.ev_dur_s, e.ev_depth)) !events
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)

@@ -23,6 +23,11 @@ val reset : unit -> unit
 (** Drop all recorded spans, counters, histograms and trace events, and
     restart the trace clock epoch. *)
 
+val elapsed_s : unit -> float
+(** Seconds since the trace clock epoch set by [reset]. Timestamps on
+    structured events (see {!Events}) use this clock so they line up
+    with span intervals in a merged Chrome trace. *)
+
 (** {1 Recording} *)
 
 val span : string -> (unit -> 'a) -> 'a
@@ -64,7 +69,16 @@ val histogram_summary : string -> (int * float * float * float) option
 
 val histograms_alist : unit -> (string * (int * float * float * float)) list
 
+val trace_events : unit -> (string * float * float * int) list
+(** Completed span intervals as [(name, start_s, dur_s, depth)] in
+    completion order, with [start_s] relative to the epoch. Consumed by
+    {!Events.chrome_trace} to merge spans and structured events. *)
+
 (** {1 Exporters} *)
+
+val escape_json : string -> string
+(** Escape a string for embedding in a JSON string literal (shared by
+    the exporters here and in {!Events}). *)
 
 val stats_table : unit -> string
 (** Human-readable per-phase time / counter / histogram breakdown. *)

@@ -261,8 +261,10 @@ end
 (* ------------------------------------------------------------------ *)
 
 (* v2: adds the optional [speedup] field (parallel-runtime wall-clock
-   ratio vs one worker); absent in v1 files, which still parse. *)
-let schema_version = 2
+   ratio vs one worker); absent in v1 files, which still parse.
+   v3: adds the optional [attribution] field (per-array polyhedral
+   traffic); absent in v1/v2 files, which still parse. *)
+let schema_version = 3
 
 type span = { sp_name : string; sp_calls : int; sp_total_s : float }
 
@@ -289,10 +291,13 @@ type t = {
   speedup : float option;
       (* parallel runtime wall-clock speedup vs one worker; None when
          the collector did not run the parallel runtime *)
+  attribution : (string * int * int) list option;
+      (* per-array (name, read_bytes, write_bytes) polyhedral traffic;
+         components sum to [traffic] exactly *)
 }
 
-let capture ?speedup ~workload ~flow ~compile_s ~cache_levels ~dram_accesses
-    ~traffic ~ast () =
+let capture ?speedup ?attribution ~workload ~flow ~compile_s ~cache_levels
+    ~dram_accesses ~traffic ~ast () =
   let spans =
     Obs.spans_alist ()
     |> List.map (fun (name, (calls, total_s, _max_s)) ->
@@ -308,7 +313,8 @@ let capture ?speedup ~workload ~flow ~compile_s ~cache_levels ~dram_accesses
     dram_accesses;
     traffic;
     ast;
-    speedup
+    speedup;
+    attribution
   }
 
 (* ------------------------------------------------------------------ *)
@@ -363,9 +369,24 @@ let to_json s =
   in
   Json.Obj
     (base
-    @ match s.speedup with
+    @ (match s.speedup with
       | Some f -> [ ("speedup", Json.Num f) ]
       | None -> [])
+    @
+    match s.attribution with
+    | Some rows ->
+        [ ( "attribution",
+            Json.Arr
+              (List.map
+                 (fun (name, r, w) ->
+                   Json.Obj
+                     [ ("array", Json.Str name);
+                       ("read_bytes", num r);
+                       ("write_bytes", num w)
+                     ])
+                 rows) )
+        ]
+    | None -> [])
 
 let to_string s = Json.to_string (to_json s)
 
@@ -466,6 +487,21 @@ let of_json j =
         let* f = as_num "speedup" v in
         Ok (Some f)
   in
+  let* attribution =
+    match Json.member "attribution" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Arr rows) ->
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* name = str_field "array" r in
+            let* rd = int_field "read_bytes" r in
+            let* wr = int_field "write_bytes" r in
+            Ok ((name, rd, wr) :: acc))
+          (Ok []) rows
+        |> Result.map (fun l -> Some (List.rev l))
+    | Some _ -> Error "field \"attribution\" is not an array"
+  in
   Ok
     { workload;
       flow;
@@ -480,7 +516,8 @@ let of_json j =
           tr_staged_bytes = staged_bytes
         };
       ast = { ast_loops = loops; ast_kernels = kernels; ast_nodes = nodes };
-      speedup
+      speedup;
+      attribution
     }
 
 let of_string s =

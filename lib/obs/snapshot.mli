@@ -60,10 +60,15 @@ type t = {
       (** parallel-runtime wall-clock speedup vs one worker (schema v2,
           optional: [None] when the collector did not run the parallel
           runtime, and for every v1 file) *)
+  attribution : (string * int * int) list option;
+      (** per-array [(name, read_bytes, write_bytes)] polyhedral traffic
+          (schema v3, optional); components sum to [traffic] exactly.
+          [None] for the naive flow and for pre-v3 files. *)
 }
 
 val capture :
   ?speedup:float ->
+  ?attribution:(string * int * int) list ->
   workload:string ->
   flow:string ->
   compile_s:float ->

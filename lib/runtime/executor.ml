@@ -24,6 +24,13 @@ type config = { jobs : int; mode : mode; race_check : bool }
 
 type violation = { v_tile : int; v_writer : int; v_cell : int }
 
+type timeline_entry = {
+  tl_tile : int;
+  tl_worker : int;
+  tl_start_s : float;  (** relative to the executor invocation *)
+  tl_dur_s : float;
+}
+
 type metrics = {
   m_mode : mode;
   m_jobs : int;
@@ -33,6 +40,9 @@ type metrics = {
   m_busy_s : float array;  (** per-worker busy wall time, seconds *)
   m_instances : int;  (** executed statement instances, summed *)
   m_violations : violation list;
+  m_timeline : timeline_entry list;
+      (** one entry per executed tile, sorted by start time; busy time
+          is the same per-tile intervals summed per worker *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -114,7 +124,7 @@ let make_race n_tiles mem =
     completed = Array.init (max 1 n_tiles) (fun _ -> Atomic.make false)
   }
 
-let race_observer race cur record ~kernel:_ ~addr ~write =
+let race_observer race cur record ~kernel:_ ~stmt:_ ~addr ~write =
   let cell = addr / Interp.elem_bytes in
   let me = !cur in
   if write then begin
@@ -138,7 +148,7 @@ let race_observer race cur record ~kernel:_ ~addr ~write =
 (* ------------------------------------------------------------------ *)
 
 let finish_metrics ~mode ~jobs ~steals ~barrier_waits ~busy ~tiles ~insts
-    ~violations =
+    ~violations ~timelines =
   { m_mode = mode;
     m_jobs = jobs;
     m_tiles = Array.fold_left ( + ) 0 tiles;
@@ -146,7 +156,10 @@ let finish_metrics ~mode ~jobs ~steals ~barrier_waits ~busy ~tiles ~insts
     m_barrier_waits = barrier_waits;
     m_busy_s = busy;
     m_instances = Array.fold_left ( + ) 0 insts;
-    m_violations = List.concat (Array.to_list violations)
+    m_violations = List.concat (Array.to_list violations);
+    m_timeline =
+      List.concat (Array.to_list (Array.map List.rev timelines))
+      |> List.sort (fun a b -> compare a.tl_start_s b.tl_start_s)
   }
 
 let run_sequential ?order ?(race_check = false) (p : Prog.t)
@@ -166,21 +179,27 @@ let run_sequential ?order ?(race_check = false) (p : Prog.t)
   in
   let stats, exec = Interp.tile_runner ?observer p mem in
   let busy = Array.make 1 0.0 in
-  let t0 = Unix.gettimeofday () in
+  let timeline = ref [] in
+  let run0 = Unix.gettimeofday () in
   Array.iter
     (fun i ->
       let it = g.Tile_graph.items.(i) in
+      let t0 = Unix.gettimeofday () in
       cur := i;
       exec ~kernel:it.Tile_graph.kernel ~env:it.Tile_graph.env
         it.Tile_graph.body;
-      match race with
+      (match race with
       | Some r -> Atomic.set r.completed.(i) true
-      | None -> ())
+      | None -> ());
+      let dur = Unix.gettimeofday () -. t0 in
+      busy.(0) <- busy.(0) +. dur;
+      timeline :=
+        { tl_tile = i; tl_worker = 0; tl_start_s = t0 -. run0; tl_dur_s = dur }
+        :: !timeline)
     order;
-  busy.(0) <- Unix.gettimeofday () -. t0;
   finish_metrics ~mode:Seq ~jobs:1 ~steals:[| 0 |] ~barrier_waits:0 ~busy
     ~tiles:[| n |] ~insts:[| stats.Interp.instances |]
-    ~violations:[| List.rev !viols |]
+    ~violations:[| List.rev !viols |] ~timelines:[| !timeline |]
 
 let run_dag ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   let n = Tile_graph.n_items g in
@@ -200,7 +219,9 @@ let run_dag ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   let tiles = Array.make jobs 0 in
   let insts = Array.make jobs 0 in
   let violations = Array.make jobs [] in
+  let timelines = Array.make jobs [] in
   let race = if race_check then Some (make_race n mem) else None in
+  let run0 = Unix.gettimeofday () in
   let worker wid () =
     let cur = ref (-1) in
     let observer =
@@ -240,7 +261,11 @@ let run_dag ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
           (match race with
           | Some r -> Atomic.set r.completed.(i) true
           | None -> ());
-          busy.(wid) <- busy.(wid) +. (Unix.gettimeofday () -. t0);
+          let dur = Unix.gettimeofday () -. t0 in
+          busy.(wid) <- busy.(wid) +. dur;
+          timelines.(wid) <-
+            { tl_tile = i; tl_worker = wid; tl_start_s = t0 -. run0; tl_dur_s = dur }
+            :: timelines.(wid);
           tiles.(wid) <- tiles.(wid) + 1;
           List.iter
             (fun j ->
@@ -268,7 +293,7 @@ let run_dag ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   worker 0 ();
   Array.iter Domain.join doms;
   finish_metrics ~mode:Dag ~jobs ~steals ~barrier_waits:0 ~busy ~tiles ~insts
-    ~violations
+    ~violations ~timelines
 
 let run_wavefront ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   let n = Tile_graph.n_items g in
@@ -283,7 +308,9 @@ let run_wavefront ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   let tiles = Array.make jobs 0 in
   let insts = Array.make jobs 0 in
   let violations = Array.make jobs [] in
+  let timelines = Array.make jobs [] in
   let race = if race_check then Some (make_race n mem) else None in
+  let run0 = Unix.gettimeofday () in
   let run_level items =
     let items = Array.of_list items in
     let next = Atomic.make 0 in
@@ -310,7 +337,11 @@ let run_wavefront ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
           (match race with
           | Some r -> Atomic.set r.completed.(i) true
           | None -> ());
-          busy.(wid) <- busy.(wid) +. (Unix.gettimeofday () -. t0);
+          let dur = Unix.gettimeofday () -. t0 in
+          busy.(wid) <- busy.(wid) +. dur;
+          timelines.(wid) <-
+            { tl_tile = i; tl_worker = wid; tl_start_s = t0 -. run0; tl_dur_s = dur }
+            :: timelines.(wid);
           tiles.(wid) <- tiles.(wid) + 1;
           loop ()
         end
@@ -328,6 +359,7 @@ let run_wavefront ~jobs ~race_check (p : Prog.t) (g : Tile_graph.t) mem =
   (* every worker waits at the barrier closing each level *)
   finish_metrics ~mode:Wavefront ~jobs ~steals
     ~barrier_waits:(n_levels * jobs) ~busy ~tiles ~insts ~violations
+    ~timelines
 
 let run (cfg : config) (p : Prog.t) (g : Tile_graph.t) mem =
   let jobs = max 1 cfg.jobs in

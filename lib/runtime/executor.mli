@@ -24,6 +24,13 @@ type violation = {
   v_cell : int;  (** element-granular global cell index *)
 }
 
+type timeline_entry = {
+  tl_tile : int;
+  tl_worker : int;
+  tl_start_s : float;  (** relative to the executor invocation *)
+  tl_dur_s : float;
+}
+
 type metrics = {
   m_mode : mode;
   m_jobs : int;
@@ -33,6 +40,11 @@ type metrics = {
   m_busy_s : float array;  (** per-worker busy wall time, seconds *)
   m_instances : int;  (** executed statement instances, summed *)
   m_violations : violation list;
+  m_timeline : timeline_entry list;
+      (** per-tile execution intervals, sorted by start time; collected
+          in per-worker slots (never through [Obs]) and merged after the
+          join. Worker busy time is exactly these durations summed per
+          worker, in every mode. *)
 }
 
 val run : config -> Prog.t -> Tile_graph.t -> Interp.memory -> metrics

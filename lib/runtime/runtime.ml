@@ -39,4 +39,17 @@ let run ?(jobs = 1) ?mode ?(race_check = false) ?max_tiles ?split_depth
   Obs.add "runtime.busy_us"
     (int_of_float
        (1e6 *. Array.fold_left ( +. ) 0.0 metrics.Executor.m_busy_s));
+  Array.iter
+    (fun b -> Obs.observe "runtime.worker_busy_us" (1e6 *. b))
+    metrics.Executor.m_busy_s;
+  (* timeline events carry the executor-relative start; shift to the
+     Obs epoch so they interleave correctly with compiler spans *)
+  let exec_epoch = Obs.elapsed_s () -. wall_s in
+  List.iter
+    (fun e ->
+      Events.emit ~ts_s:(exec_epoch +. e.Executor.tl_start_s)
+        ~dur_s:e.Executor.tl_dur_s ~cat:"runtime" "runtime.tile"
+        [ ("tile", Events.I e.Executor.tl_tile);
+          ("worker", Events.I e.Executor.tl_worker) ])
+    metrics.Executor.m_timeline;
   { mem; graph; metrics; wall_s }

@@ -295,15 +295,19 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
         group_of_stmts p ~deps stmts)
       atoms
   in
+  (* [try_merge] returns the fused candidate or, on rejection, the
+     failing predicate plus any diagnostic attributes -- both feed the
+     decision-trace events consumed by [memcomp explain]. *)
   let try_merge prev g =
     Obs.count "fusion.merge_attempts";
     let stmts = prev.stmts @ g.stmts in
     steps := !steps + (List.length stmts * List.length stmts);
     match heuristic with
-    | Minfuse -> None
-    | _ when not (guard_merge_ok p heuristic prev.stmts g.stmts) -> None
+    | Minfuse -> Error ("minfuse_policy", [])
+    | _ when not (guard_merge_ok p heuristic prev.stmts g.stmts) ->
+        Error ("guard_barrier", [])
     | Smartfuse | Hybridfuse ->
-        if not (connected deps prev g) then None
+        if not (connected deps prev g) then Error ("not_connected", [])
         else if
           (not fuse_reductions)
           && List.exists
@@ -314,25 +318,37 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
              carrying a reduction is not fused with its consumers
              (Table III: "smartfuse failed to fuse convolutions and
              batch normalizations") *)
-          None
+          Error ("reduction_barrier", [])
         else begin
           (* Fuse on the deepest shared band that keeps the group
              permutable and parallel enough; shrinking the band models
              outer-level-only fusion (e.g. 2mm fuses on i alone). *)
+          let max_bd = max_band_dims p stmts in
+          let deepest = ref [] in
           let rec attempt bd =
-            if bd < 1 then None
+            if bd < 1 then
+              Error
+                ( "no_legal_band",
+                  ("band_dims_tried", Events.I max_bd) :: !deepest )
             else begin
               steps := !steps + List.length stmts;
               let candidate = group_of_stmts ~band_dims:bd p ~deps stmts in
+              if bd = max_bd then
+                deepest :=
+                  [ ("serialized", Events.B candidate.serialized);
+                    ("permutable", Events.B candidate.permutable);
+                    ("parallel_dims", Events.I (n_parallel candidate));
+                    ("target_parallelism", Events.I target_parallelism)
+                  ];
               if
                 (not candidate.serialized)
                 && candidate.permutable
                 && n_parallel candidate >= target_parallelism
-              then Some candidate
+              then Ok candidate
               else attempt (bd - 1)
             end
           in
-          attempt (max_band_dims p stmts)
+          attempt max_bd
         end
     | Maxfuse ->
         let candidate = group_of_stmts p ~deps stmts in
@@ -344,7 +360,13 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
             candidate edges
         in
         if exceeded then budget_exceeded := true;
-        Some candidate
+        Ok candidate
+  in
+  let decision_base prev g =
+    [ ("heuristic", Events.S (heuristic_name heuristic));
+      ("prev", Events.S (String.concat "+" prev.stmts));
+      ("next", Events.S (String.concat "+" g.stmts))
+    ]
   in
   let groups =
     match heuristic with
@@ -356,11 +378,19 @@ let schedule ?(max_steps = 2_000_000) ?(fuse_reductions = true) (p : Prog.t)
             | [] -> [ g ]
             | prev :: rest -> (
                 match try_merge prev g with
-                | Some merged ->
+                | Ok merged ->
                     Obs.count "fusion.fuse_accept";
+                    Events.emit ~cat:"fusion" "fusion.accept"
+                      (decision_base prev g
+                      @ [ ("band_dims", Events.I merged.band_dims);
+                          ("parallel_dims", Events.I (n_parallel merged))
+                        ]);
                     merged :: rest
-                | None ->
+                | Error (reason, details) ->
                     Obs.count "fusion.fuse_reject";
+                    Events.emit ~cat:"fusion" "fusion.reject"
+                      (decision_base prev g
+                      @ (("reason", Events.S reason) :: details));
                     g :: prev :: rest))
           [] atom_groups
         |> List.rev

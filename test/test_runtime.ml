@@ -166,6 +166,64 @@ let test_default_mode () =
   check bool "analyzable graph runs dag" true (Runtime.default_mode g = Executor.Dag)
 
 (* ------------------------------------------------------------------ *)
+(* Timelines: busy-time conservation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker busy time is defined as the per-tile timeline intervals
+   summed per worker; check the conservation law across jobs settings
+   and that the timeline covers every tile exactly once. *)
+let test_timeline_conservation () =
+  let e = Registry.find "harris" in
+  let p = e.Registry.small () in
+  let v = compile p in
+  let deps = deps_of p v in
+  List.iter
+    (fun jobs ->
+      let r = Runtime.run ~jobs p ~deps v.Exp_util.ast in
+      let m = r.Runtime.metrics in
+      let tl = m.Executor.m_timeline in
+      check int
+        (Printf.sprintf "jobs=%d: one timeline entry per tile" jobs)
+        m.Executor.m_tiles (List.length tl);
+      let tiles = List.sort compare (List.map (fun t -> t.Executor.tl_tile) tl) in
+      check bool
+        (Printf.sprintf "jobs=%d: each tile appears exactly once" jobs)
+        true
+        (tiles = List.init m.Executor.m_tiles (fun i -> i));
+      check bool
+        (Printf.sprintf "jobs=%d: timeline sorted by start" jobs)
+        true
+        (let rec sorted = function
+           | a :: (b :: _ as rest) ->
+               a.Executor.tl_start_s <= b.Executor.tl_start_s && sorted rest
+           | _ -> true
+         in
+         sorted tl);
+      List.iter
+        (fun t ->
+          check bool "worker id in range" true
+            (t.Executor.tl_worker >= 0 && t.Executor.tl_worker < jobs);
+          check bool "start/dur non-negative" true
+            (t.Executor.tl_start_s >= 0.0 && t.Executor.tl_dur_s >= 0.0))
+        tl;
+      (* conservation, per worker: busy.(w) == sum of w's durations *)
+      Array.iteri
+        (fun w busy ->
+          let from_tl =
+            List.fold_left
+              (fun acc t ->
+                if t.Executor.tl_worker = w then acc +. t.Executor.tl_dur_s
+                else acc)
+              0.0 tl
+          in
+          check bool
+            (Printf.sprintf "jobs=%d worker %d: busy == timeline sum" jobs w)
+            true
+            (abs_float (busy -. from_tl) < 1e-9))
+        m.Executor.m_busy_s)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Race checker                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,6 +280,10 @@ let () =
         [ Alcotest.test_case "wavefront" `Slow test_wavefront_mode;
           Alcotest.test_case "sequential" `Quick test_seq_mode;
           Alcotest.test_case "default mode" `Quick test_default_mode
+        ] );
+      ( "timelines",
+        [ Alcotest.test_case "busy-time conservation across jobs" `Quick
+            test_timeline_conservation
         ] );
       ( "race-checker",
         [ Alcotest.test_case "fires on reversed order" `Quick test_race_checker_fires;

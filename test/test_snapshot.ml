@@ -35,7 +35,8 @@ let sample_snapshot ?(workload = "conv2d") ?(flow = "ours")
         tr_staged_bytes = 256
       };
     ast = { Snapshot.ast_loops = 10; ast_kernels = 2; ast_nodes = 18 };
-    speedup = None
+    speedup = None;
+    attribution = None
   }
 
 let sample_db ?label ?(snapshots = [ sample_snapshot () ]) () =
