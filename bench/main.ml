@@ -596,6 +596,220 @@ let parallel_cmd args =
       Printf.printf "wrote %d parallel snapshots to %s\n" (List.length snaps)
         file
 
+(* ------------------------------------------------------------------ *)
+(* serve: load generator + end-to-end checker for the compile daemon   *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives a running `memcomp serve` daemon: fires --requests compile
+   POSTs from --concurrency client domains, then verifies the whole
+   telemetry surface end to end —
+     . every request returns 200 and its req id resolves at /trace/<id>
+     . /metrics parses as OpenMetrics (terminated by "# EOF") and its
+       memcomp_* counter samples exactly equal the daemon's internal
+       Obs counters (GET /counters), modulo the two deterministic
+       increments the scrape itself causes (http.requests,
+       http.metrics — see the server's instrumentation contract)
+     . counters are monotone across the two scrapes and
+       memcomp_pipeline_runs_total advanced by at least --requests
+   Prints p50/p95/p99 compile latency; exits 1 on any failure. *)
+let serve_cmd args =
+  let port = ref 8080 in
+  let requests = ref 50 in
+  let concurrency = ref 4 in
+  let workload = ref "conv2d" in
+  let flow = ref "ours" in
+  let tile = ref 32 in
+  let metrics_out = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ -> usage_error (Printf.sprintf "%s expects a positive integer, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: n :: rest ->
+        port := int_arg "--port" n;
+        parse rest
+    | "--requests" :: n :: rest ->
+        requests := int_arg "--requests" n;
+        parse rest
+    | "--concurrency" :: n :: rest ->
+        concurrency := int_arg "--concurrency" n;
+        parse rest
+    | "--workload" :: w :: rest ->
+        workload := w;
+        parse rest
+    | "--flow" :: f :: rest ->
+        flow := f;
+        parse rest
+    | "--tile" :: n :: rest ->
+        tile := int_arg "--tile" n;
+        parse rest
+    | "--metrics-out" :: f :: rest ->
+        metrics_out := Some f;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "serve: unknown argument %s" a)
+  in
+  parse args;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let get path =
+    match Httpd.request ~port:!port path with
+    | Ok (status, body) -> (status, body)
+    | Error msg ->
+        fail "GET %s: %s" path msg;
+        (0, "")
+  in
+  (* 1. readiness: the daemon may still be binding its socket *)
+  let rec wait_ready tries =
+    if tries = 0 then begin
+      Printf.eprintf "serve: daemon on port %d not ready, giving up\n%!" !port;
+      exit 1
+    end
+    else
+      match Httpd.request ~port:!port "/healthz" with
+      | Ok (200, _) -> ()
+      | _ ->
+          Unix.sleepf 0.25;
+          wait_ready (tries - 1)
+  in
+  wait_ready 40;
+  (* 2. first scrape *)
+  let s1_status, scrape1 = get "/metrics" in
+  if s1_status <> 200 then fail "first /metrics scrape: status %d" s1_status;
+  let has_eof s =
+    let t = String.trim s in
+    String.length t >= 5 && String.sub t (String.length t - 5) 5 = "# EOF"
+  in
+  if not (has_eof scrape1) then fail "first /metrics scrape lacks the # EOF terminator";
+  let counters1 = Openmetrics.parse_counters scrape1 in
+  (* 3. the load: N compile POSTs across K client domains *)
+  let body =
+    Printf.sprintf
+      "{\"workload\":\"%s\",\"flow\":\"%s\",\"tile\":%d,\"small\":true}"
+      !workload !flow !tile
+  in
+  let next = Atomic.make 0 in
+  let client () =
+    let rec go acc =
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= !requests then acc
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let outcome = Httpd.request ~meth:"POST" ~body ~port:!port "/compile" in
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        go ((outcome, ms) :: acc)
+      end
+    in
+    go []
+  in
+  let doms = List.init (max 1 !concurrency) (fun _ -> Domain.spawn client) in
+  let results = List.concat_map Domain.join doms in
+  (* 4. every request 200, with a req id that resolves at /trace/<id> *)
+  let latencies = ref [] in
+  List.iter
+    (fun (outcome, ms) ->
+      match outcome with
+      | Error msg -> fail "POST /compile: %s" msg
+      | Ok (status, body) ->
+          if status <> 200 then fail "POST /compile: status %d (%s)" status (String.trim body)
+          else begin
+            latencies := ms :: !latencies;
+            match Json_util.Json.parse body with
+            | Error msg -> fail "POST /compile: unparseable response: %s" msg
+            | Ok j -> (
+                match Json_util.Json.member "req" j with
+                | Some (Json_util.Json.Str id) -> (
+                    match get ("/trace/" ^ id) with
+                    | 200, trace when String.length trace > 0 && trace.[0] = '{' -> ()
+                    | st, _ -> fail "GET /trace/%s: status %d" id st)
+                | _ -> fail "POST /compile: response carries no req id")
+          end)
+    results;
+  (* 5. internal counters, then second scrape (order matters: between
+     the /counters snapshot and the /metrics render exactly one request
+     — the scrape itself — arrives) *)
+  let c_status, counters_body = get "/counters" in
+  if c_status <> 200 then fail "GET /counters: status %d" c_status;
+  let internal =
+    match Json_util.Json.parse counters_body with
+    | Ok (Json_util.Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json_util.Json.Num f when Float.is_integer f -> Some (k, int_of_float f)
+            | _ -> None)
+          fields
+    | _ ->
+        fail "GET /counters: unparseable body";
+        []
+  in
+  let s2_status, scrape2 = get "/metrics" in
+  if s2_status <> 200 then fail "second /metrics scrape: status %d" s2_status;
+  if not (has_eof scrape2) then fail "second /metrics scrape lacks the # EOF terminator";
+  let counters2 = Openmetrics.parse_counters scrape2 in
+  (* exactness: scraped counters == internal counters + the scrape's
+     own deterministic increments *)
+  let expected =
+    List.map
+      (fun (name, v) ->
+        let bump = match name with "http.requests" | "http.metrics" -> 1 | _ -> 0 in
+        ("memcomp_" ^ Openmetrics.sanitize name, v + bump))
+      internal
+    |> List.sort compare
+  in
+  let scraped = List.sort compare counters2 in
+  if expected <> scraped then begin
+    let show l =
+      String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) l)
+    in
+    fail "scraped counters diverge from internal Obs state\n  expected: %s\n  scraped:  %s"
+      (show expected) (show scraped)
+  end;
+  (* monotonicity across the two scrapes + pipeline.runs advanced *)
+  List.iter
+    (fun (name, v1) ->
+      match List.assoc_opt name counters2 with
+      | Some v2 when v2 < v1 -> fail "counter %s went backwards: %d -> %d" name v1 v2
+      | Some _ -> ()
+      | None -> fail "counter %s disappeared between scrapes" name)
+    counters1;
+  let runs_of cs = match List.assoc_opt "memcomp_pipeline_runs" cs with Some v -> v | None -> 0 in
+  let d_runs = runs_of counters2 - runs_of counters1 in
+  if !flow <> "naive" && d_runs < !requests then
+    fail "memcomp_pipeline_runs_total advanced by %d, expected >= %d" d_runs !requests;
+  (match !metrics_out with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc scrape2;
+      close_out oc
+  | None -> ());
+  (* 6. report *)
+  let ls = Array.of_list !latencies in
+  Array.sort compare ls;
+  let pct p =
+    if Array.length ls = 0 then 0.0
+    else
+      ls.(min (Array.length ls - 1)
+            (int_of_float (ceil (p /. 100.0 *. float_of_int (Array.length ls))) - 1))
+  in
+  Printf.printf
+    "serve: %d requests (%s/%s, tile %d) at concurrency %d against port %d\n"
+    !requests !workload !flow !tile !concurrency !port;
+  Printf.printf "  completed   %d ok, %d failed\n" (List.length !latencies)
+    (!requests - List.length !latencies);
+  if Array.length ls > 0 then
+    Printf.printf "  latency ms  p50 %.1f   p95 %.1f   p99 %.1f   max %.1f\n"
+      (pct 50.0) (pct 95.0) (pct 99.0)
+      ls.(Array.length ls - 1);
+  Printf.printf "  pipeline    runs +%d across load\n" d_runs;
+  if !failures <> [] then begin
+    Printf.eprintf "serve: %d check(s) failed:\n" (List.length !failures);
+    List.iter (fun m -> Printf.eprintf "  - %s\n" m) (List.rev !failures);
+    exit 1
+  end;
+  Printf.printf "  checks      all passed (traces resolve, counters exact & monotone)\n"
+
 let experiments =
   [ ("table1", Paper_experiments.table1);
     ("fig8", Paper_experiments.fig8);
@@ -622,6 +836,7 @@ let () =
   | "regress" :: rest -> regress_cmd rest
   | "report" :: rest -> report_cmd rest
   | "parallel" :: rest -> parallel_cmd rest
+  | "serve" :: rest -> serve_cmd rest
   | names ->
       List.iter
         (fun n ->

@@ -343,6 +343,41 @@ let explain_cmd =
       const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ jobs_arg
       $ json_flag $ stats_arg $ trace_arg)
 
+let serve_cmd =
+  let doc =
+    "Run the long-lived compile daemon: POST /compile, GET /metrics \
+     (OpenMetrics), /healthz, /buildinfo, and per-request Chrome traces at \
+     /trace/<req-id>. Serves on the loopback interface until SIGTERM/SIGINT."
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to bind on 127.0.0.1 (0 picks a free port).")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: debug | info | warn | error (fallback: \
+             the MEMCOMP_LOG environment variable; default warn). Logs are \
+             JSONL on stderr; compile requests carry a correlating req id.")
+  in
+  let run port jobs log_level =
+    (match log_level with
+    | None -> ()
+    | Some s -> (
+        match Log.level_of_string s with
+        | Ok l -> Log.set_level l
+        | Error msg ->
+            Printf.eprintf "memcomp serve: %s\n%!" msg;
+            Stdlib.exit 2));
+    Server.run ~port ~workers:(resolve_jobs jobs) ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ port_arg $ jobs_arg $ log_level_arg)
+
 let () =
   let doc =
     "post-tiling fusion: compositing automatic transformations on computations \
@@ -351,4 +386,5 @@ let () =
   let info = Cmd.info "memcomp" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd ]))
+       (Cmd.group info
+          [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd; serve_cmd ]))

@@ -12,9 +12,11 @@ type version = {
   budget_exceeded : bool;
 }
 
+(* Atomic: versions are built concurrently by the serve daemon's worker
+   domains, and a duplicated uid would alias profile-cache entries. *)
 let next_uid =
-  let c = ref 0 in
-  fun () -> incr c; !c
+  let c = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add c 1 + 1
 
 let time_it f =
   let t0 = Unix.gettimeofday () in
@@ -111,17 +113,29 @@ let check_against (p : Prog.t) v1 v2 =
 
 let profile_cache : (int, Cpu_model.report) Hashtbl.t = Hashtbl.create 32
 
+(* Guards the table only: profiling runs outside the lock (it can take
+   seconds; a duplicated concurrent profile is pure and harmless). *)
+let profile_mu = Mutex.create ()
+
 let cpu_profile (p : Prog.t) v =
   ignore p.Prog.prog_name;
   let key = v.uid in
-  match Hashtbl.find_opt profile_cache key with
+  let cached =
+    Mutex.lock profile_mu;
+    let r = Hashtbl.find_opt profile_cache key in
+    Mutex.unlock profile_mu;
+    r
+  in
+  match cached with
   | Some r ->
       Obs.count "exp.profile_cache.hits";
       r
   | None ->
       Obs.count "exp.profile_cache.misses";
       let r = Obs.span "exp.cpu_profile" (fun () -> Cpu_model.profile p v.ast) in
+      Mutex.lock profile_mu;
       Hashtbl.replace profile_cache key r;
+      Mutex.unlock profile_mu;
       r
 
 let cpu_time_ms ?vectorize (p : Prog.t) v ~threads =

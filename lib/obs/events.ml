@@ -1,9 +1,15 @@
 (* Structured event log (see events.mli). A fixed-size ring keeps the
    newest events; [seq] keeps a global emission index so consumers can
    detect gaps after overflow. Timestamps share the Obs epoch so a
-   merged Chrome trace lines spans and events up on one clock. *)
+   merged Chrome trace lines spans and events up on one clock.
 
-type value = S of string | I of int | F of float | B of bool
+   Domain safety: the ring lives behind its own mutex. Lock order is
+   Obs -> Events (Obs runs our reset hook while holding its lock); no
+   code path here takes the Obs lock while holding ours — emit only
+   calls lock-free Obs reads, and chrome_trace snapshots the two stores
+   sequentially. *)
+
+type value = Json_util.value = S of string | I of int | F of float | B of bool
 
 type t = {
   seq : int;
@@ -20,6 +26,18 @@ type t = {
 
 let default_capacity = 65_536
 
+let mu = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 let cap = ref default_capacity
 
 let buf : t option array ref = ref [||]
@@ -30,93 +48,96 @@ let len = ref 0
 
 let total = ref 0
 
-let reset () =
+let reset_unlocked () =
   buf := [||];
   start := 0;
   len := 0;
   total := 0
 
+let reset () = with_lock reset_unlocked
+
+(* Clear the ring atomically with the Obs registries, so a reset
+   between requests cannot leak a prior request's events. *)
+let () = Obs.on_reset reset_unlocked
+
 let set_capacity n =
-  cap := max 1 n;
-  reset ()
+  with_lock (fun () ->
+      cap := max 1 n;
+      reset_unlocked ())
 
 let capacity () = !cap
 
 let emit ?ts_s ?(dur_s = 0.0) ?(cat = "event") name args =
   if Obs.is_enabled () then begin
+    (* Tag with the serving request id unless the caller already did. *)
+    let args =
+      match Obs.request_id () with
+      | Some id when not (List.mem_assoc "req" args) -> args @ [ ("req", S id) ]
+      | _ -> args
+    in
     let ts = match ts_s with Some t -> t | None -> Obs.elapsed_s () in
-    let e = { seq = !total; ts_s = ts; dur_s; cat; name; args } in
-    if Array.length !buf <> !cap then begin
-      buf := Array.make !cap None;
-      start := 0;
-      len := 0
-    end;
-    let b = !buf in
-    if !len < !cap then begin
-      b.((!start + !len) mod !cap) <- Some e;
-      incr len
-    end
-    else begin
-      b.(!start) <- Some e;
-      start := (!start + 1) mod !cap
-    end;
-    incr total
+    with_lock (fun () ->
+        let e = { seq = !total; ts_s = ts; dur_s; cat; name; args } in
+        if Array.length !buf <> !cap then begin
+          buf := Array.make !cap None;
+          start := 0;
+          len := 0
+        end;
+        let b = !buf in
+        if !len < !cap then begin
+          b.((!start + !len) mod !cap) <- Some e;
+          incr len
+        end
+        else begin
+          b.(!start) <- Some e;
+          start := (!start + 1) mod !cap
+        end;
+        incr total)
   end
 
-let recorded () =
-  let b = !buf in
-  let n = Array.length b in
-  let rec go i acc =
-    if i < 0 then acc
-    else
-      match b.((!start + i) mod n) with
-      | Some e -> go (i - 1) (e :: acc)
-      | None -> go (i - 1) acc
+let find e key = List.assoc_opt key e.args
+
+let recorded ?req () =
+  let all =
+    with_lock (fun () ->
+        let b = !buf in
+        let n = Array.length b in
+        let rec go i acc =
+          if i < 0 then acc
+          else
+            match b.((!start + i) mod n) with
+            | Some e -> go (i - 1) (e :: acc)
+            | None -> go (i - 1) acc
+        in
+        if n = 0 then [] else go (!len - 1) [])
   in
-  if n = 0 then [] else go (!len - 1) []
+  match req with
+  | None -> all
+  | Some r -> List.filter (fun e -> find e "req" = Some (S r)) all
 
 let emitted () = !total
 
 let dropped () = !total - !len
 
-let find e key = List.assoc_opt key e.args
-
-let value_to_string = function
-  | S s -> s
-  | I i -> string_of_int i
-  | F f -> Printf.sprintf "%g" f
-  | B b -> string_of_bool b
+let value_to_string = Json_util.value_to_string
 
 (* ------------------------------------------------------------------ *)
 (* JSONL                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Floats always carry a '.' or exponent so the parser can tell them
-   from ints; "%.17g" keeps the round trip exact. *)
-let float_repr f =
-  if Float.is_nan f then "\"nan\""
-  else if f = infinity then "\"inf\""
-  else if f = neg_infinity then "\"-inf\""
-  else begin
-    let s = Printf.sprintf "%.17g" f in
-    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
-  end
+let float_repr = Json_util.float_repr
 
-let value_json = function
-  | S s -> Printf.sprintf "\"%s\"" (Obs.escape_json s)
-  | I i -> string_of_int i
-  | F f -> float_repr f
-  | B b -> string_of_bool b
+let value_json = Json_util.value_json
 
 let event_json b (e : t) =
   Buffer.add_string b
     (Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"dur\":%s,\"cat\":\"%s\",\"name\":\"%s\",\"args\":{"
-       e.seq (float_repr e.ts_s) (float_repr e.dur_s) (Obs.escape_json e.cat)
-       (Obs.escape_json e.name));
+       e.seq (float_repr e.ts_s) (float_repr e.dur_s) (Json_util.escape e.cat)
+       (Json_util.escape e.name));
   List.iteri
     (fun i (k, v) ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (Obs.escape_json k) (value_json v)))
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (Json_util.escape k) (value_json v)))
     e.args;
   Buffer.add_string b "}}"
 
@@ -355,8 +376,10 @@ let of_jsonl text =
 (* Spans render on tid 1 exactly as in [Obs.chrome_trace]; structured
    events on tid 2 as instant ("i") events, or complete ("X") when they
    carry a duration. Everything except the leading metadata event is
-   sorted by timestamp so trace consumers see one merged timeline. *)
-let chrome_trace () =
+   sorted by timestamp so trace consumers see one merged timeline.
+   [?req] restricts both stores to one request's records — the payload
+   of the serve daemon's [GET /trace/<req-id>]. *)
+let chrome_trace ?req () =
   let rows = ref [] in
   let push ts rendered = rows := (ts, List.length !rows, rendered) :: !rows in
   List.iter
@@ -365,8 +388,8 @@ let chrome_trace () =
       push ts
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"pass\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d}}"
-           (Obs.escape_json name) ts (dur_s *. 1e6) depth))
-    (Obs.trace_events ());
+           (Json_util.escape name) ts (dur_s *. 1e6) depth))
+    (Obs.trace_events ?req ());
   List.iter
     (fun (e : t) ->
       let ts = e.ts_s *. 1e6 in
@@ -375,22 +398,22 @@ let chrome_trace () =
         (fun i (k, v) ->
           if i > 0 then Buffer.add_char args ',';
           Buffer.add_string args
-            (Printf.sprintf "\"%s\":%s" (Obs.escape_json k) (value_json v)))
+            (Printf.sprintf "\"%s\":%s" (Json_util.escape k) (value_json v)))
         e.args;
       let rendered =
         if e.dur_s > 0.0 then
           Printf.sprintf
             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
-            (Obs.escape_json e.name) (Obs.escape_json e.cat) ts (e.dur_s *. 1e6)
+            (Json_util.escape e.name) (Json_util.escape e.cat) ts (e.dur_s *. 1e6)
             (Buffer.contents args)
         else
           Printf.sprintf
             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"pid\":1,\"tid\":2,\"ts\":%.3f,\"s\":\"t\",\"args\":{%s}}"
-            (Obs.escape_json e.name) (Obs.escape_json e.cat) ts
+            (Json_util.escape e.name) (Json_util.escape e.cat) ts
             (Buffer.contents args)
       in
       push ts rendered)
-    (recorded ());
+    (recorded ?req ());
   let sorted =
     List.sort
       (fun (ta, ia, _) (tb, ib, _) ->
@@ -418,7 +441,7 @@ let chrome_trace () =
     List.iteri
       (fun i (name, v) ->
         if i > 0 then Buffer.add_char b ',';
-        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Obs.escape_json name) v))
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Json_util.escape name) v))
       cs;
     Buffer.add_string b "}}"
   end;

@@ -6,15 +6,21 @@
     Events carry a name, a category, a timestamp on the {!Obs} trace
     clock, an optional duration, and a payload of typed key/values.
     Recording is gated on [Obs.is_enabled] and bounded by a ring
-    buffer, so instrumented paths are safe to leave in hot code.
+    buffer, so instrumented paths are safe to leave in hot code. The
+    ring is guarded by a mutex, so concurrent domains can emit safely.
+
+    When the recording domain has a request-correlation id set (see
+    {!Obs.set_request_id}), [emit] tags the event with a ["req"] arg so
+    per-request traces can be carved out of the shared ring.
 
     Exporters: JSONL (one event per line, round-trippable with
     {!of_jsonl}) and a Chrome trace that merges structured events with
     the {!Obs} span intervals in timestamp order. *)
 
-(** Payload value: string, int, float or bool. Ints and floats stay
-    distinct through a JSONL round-trip. *)
-type value = S of string | I of int | F of float | B of bool
+(** Payload value: string, int, float or bool (an alias of
+    {!Json_util.value}). Ints and floats stay distinct through a JSONL
+    round-trip. *)
+type value = Json_util.value = S of string | I of int | F of float | B of bool
 
 type t = {
   seq : int;  (** global emission index; counts events later dropped *)
@@ -29,7 +35,8 @@ type t = {
 
 val reset : unit -> unit
 (** Drop all recorded events and the emission counter. Capacity is
-    kept. Call alongside [Obs.reset] when starting a fresh capture. *)
+    kept. Also runs automatically as part of [Obs.reset] (registered
+    via [Obs.on_reset]), atomically with the Obs registries. *)
 
 val set_capacity : int -> unit
 (** Resize the ring buffer (clamped to >= 1). Discards recorded events
@@ -43,12 +50,15 @@ val emit :
   ?ts_s:float -> ?dur_s:float -> ?cat:string -> string -> (string * value) list -> unit
 (** [emit name args] records an event stamped [Obs.elapsed_s ()] (or
     the explicit [ts_s]). No-op while [Obs] is disabled. When the ring
-    is full the oldest event is dropped. *)
+    is full the oldest event is dropped. If the recording domain has a
+    request id set, a [("req", S id)] arg is appended unless the caller
+    already supplied one. *)
 
 (** {1 Inspection} *)
 
-val recorded : unit -> t list
-(** Retained events, oldest first. *)
+val recorded : ?req:string -> unit -> t list
+(** Retained events, oldest first. [?req] restricts to events tagged
+    with that request id. *)
 
 val emitted : unit -> int
 (** Total events emitted since the last reset, including dropped. *)
@@ -74,10 +84,11 @@ val of_jsonl : string -> (t list, string) result
 
 val write_jsonl : string -> unit
 
-val chrome_trace : unit -> string
+val chrome_trace : ?req:string -> unit -> string
 (** Chrome trace_event JSON merging [Obs] span intervals (tid 1) with
     structured events (tid 2, instant ["i"] or complete ["X"] when a
     duration is present), in non-decreasing timestamp order, plus the
-    final [Obs] counters ["C"] event. *)
+    final [Obs] counters ["C"] event. [?req] restricts both stores to
+    one request's records. *)
 
 val write_chrome_trace : string -> unit

@@ -1,0 +1,41 @@
+(** Shared JSON primitives for the observability layer: the single
+    string escaper used by every JSON producer in the tree, the typed
+    payload value shared by {!Events} and {!Log}, and the minimal JSON
+    document parser/printer (formerly private to {!Snapshot}). *)
+
+val escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+(** Payload value: string, int, float or bool. Ints and floats stay
+    distinct through a JSONL round-trip ([F 5.] prints as ["5.0"]). *)
+type value = S of string | I of int | F of float | B of bool
+
+val float_repr : float -> string
+(** Exact ([%.17g]) float rendering that always carries a ['.'] or
+    exponent; nan/inf render as quoted strings. *)
+
+val value_json : value -> string
+(** JSON rendering of a payload value. *)
+
+val value_to_string : value -> string
+(** Human-readable rendering (no quotes around strings). *)
+
+(** Minimal JSON documents — parser and printer sufficient for the
+    snapshot schema and the serve daemon's request bodies. Floats print
+    with [%.17g] so every finite double round-trips exactly. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  (** Field access on [Obj]; [None] on other constructors. *)
+end

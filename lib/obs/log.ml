@@ -1,0 +1,93 @@
+(* Leveled structured JSONL logging (see log.mli).
+
+   One line per record: {"ts":..,"level":..,"cat":..,"msg":..,
+   "req":..?,"args":{..}}. Unlike Obs/Events, logging is not gated on
+   Obs.is_enabled — it has its own level threshold, initialised from
+   MEMCOMP_LOG and overridable per run (--log-level). The default sink
+   writes to stderr; the serve daemon and tests install their own. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other -> Error (Printf.sprintf "unknown log level %S (expected debug|info|warn|error)" other)
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* Default threshold: warn, so batch CLI runs stay quiet unless asked.
+   MEMCOMP_LOG=<level> raises or lowers it before any line is emitted. *)
+let threshold =
+  ref
+    (match Sys.getenv_opt "MEMCOMP_LOG" with
+    | Some s -> ( match level_of_string s with Ok l -> l | Error _ -> Warn)
+    | None -> Warn)
+
+let set_level l = threshold := l
+
+let current_level () = !threshold
+
+let would_log l = severity l >= severity !threshold
+
+(* The sink receives one fully-rendered line (no trailing newline).
+   Serialised by a mutex so concurrent domains never interleave bytes
+   of two records. *)
+let mu = Mutex.create ()
+
+let default_sink line =
+  prerr_string line;
+  prerr_newline ()
+
+let sink = ref default_sink
+
+let set_sink f = sink := f
+
+let reset_sink () = sink := default_sink
+
+let render level ?(cat = "main") msg args =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"cat\":\"%s\",\"msg\":\"%s\""
+       (Unix.gettimeofday ()) (level_to_string level) (Json_util.escape cat)
+       (Json_util.escape msg));
+  (match Obs.request_id () with
+  | Some id -> Buffer.add_string b (Printf.sprintf ",\"req\":\"%s\"" (Json_util.escape id))
+  | None -> ());
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":%s" (Json_util.escape k) (Json_util.value_json v)))
+      args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let log level ?cat msg args =
+  if would_log level then begin
+    let line = render level ?cat msg args in
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () -> !sink line)
+  end
+
+let debug ?cat msg args = log Debug ?cat msg args
+
+let info ?cat msg args = log Info ?cat msg args
+
+let warn ?cat msg args = log Warn ?cat msg args
+
+let error ?cat msg args = log Error ?cat msg args

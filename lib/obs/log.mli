@@ -1,0 +1,49 @@
+(** Leveled structured logging: one JSON object per line
+    ([{"ts":..,"level":..,"cat":..,"msg":..,"req":..?,"args":{..}}]).
+
+    Independent of [Obs.enable]: records pass a level threshold only,
+    so operational logs flow even when profiling is off. The threshold
+    is initialised from the [MEMCOMP_LOG] environment variable
+    (debug|info|warn|error; default warn) and can be overridden with
+    {!set_level} (the CLI's [--log-level]).
+
+    If the emitting domain has a request-correlation id set
+    ({!Obs.set_request_id}), every line carries a ["req"] field, so one
+    id links a request's log lines, its {!Events} decision trace, and
+    its Chrome trace.
+
+    Sink writes are serialised by a mutex: concurrent domains never
+    interleave bytes of two records. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+val level_of_string : string -> (level, string) result
+(** Case-insensitive; accepts ["warning"] for [Warn]. *)
+
+val set_level : level -> unit
+(** Records strictly below this level are dropped. *)
+
+val current_level : unit -> level
+
+val would_log : level -> bool
+(** [true] when a record at this level would pass the threshold. Use to
+    skip expensive payload construction. *)
+
+val set_sink : (string -> unit) -> unit
+(** Install a sink receiving one rendered line per record (no trailing
+    newline). Default sink: stderr, line-buffered. *)
+
+val reset_sink : unit -> unit
+(** Restore the stderr sink. *)
+
+(** {1 Emitting} *)
+
+val debug : ?cat:string -> string -> (string * Json_util.value) list -> unit
+
+val info : ?cat:string -> string -> (string * Json_util.value) list -> unit
+
+val warn : ?cat:string -> string -> (string * Json_util.value) list -> unit
+
+val error : ?cat:string -> string -> (string * Json_util.value) list -> unit

@@ -7,6 +7,14 @@
    cache probes, ...) pay essentially nothing when observability is
    disabled.
 
+   Domain safety: all registries (counters, span stats, histograms and
+   the span-event ring) live behind one mutex, so compiles running
+   concurrently across OCaml 5 domains — the serve daemon's normal
+   operating mode — accumulate exact totals. Span nesting depth and
+   the request-correlation id are domain-local (DLS), so spans nest
+   per domain and every recorded span/event can be attributed to the
+   request its domain was serving.
+
    Counter naming scheme: dotted lowercase [layer.entity[.metric]],
    e.g. "fm.eliminate", "bmap.apply_range", "cache.L1.hits",
    "pipeline.search_steps". Span names follow the same scheme and
@@ -41,7 +49,23 @@ type event = {
   ev_start_s : float;  (* relative to the epoch set by [reset] *)
   ev_dur_s : float;
   ev_depth : int;
+  ev_req : string option;  (* request id of the recording domain *)
 }
+
+(* One mutex guards every registry below. Lock order: this mutex may be
+   held while reset hooks run (so hooks must not call back into Obs),
+   and is never taken while another observability lock is held. *)
+let mu = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
@@ -49,28 +73,61 @@ let span_stats : (string, span_stat) Hashtbl.t = Hashtbl.create 64
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
-(* Completed spans in reverse completion order, capped so a runaway
-   compile cannot exhaust memory through its own instrumentation. *)
-let events : event list ref = ref []
+(* Completed spans in completion order, kept in a bounded ring so a
+   long-running daemon keeps the newest intervals instead of going
+   silent once full. *)
+let events : event Queue.t = Queue.create ()
 
-let n_events = ref 0
+let max_events = ref 1_000_000
 
-let max_events = 1_000_000
+let set_trace_capacity n =
+  with_lock (fun () ->
+      max_events := max 1 n;
+      while Queue.length events > !max_events do
+        ignore (Queue.pop events)
+      done)
 
-let depth = ref 0
+(* Span nesting depth is domain-local: concurrent requests nest their
+   own spans without seeing each other's depth. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(* Request-correlation id: set around each served request; attached to
+   every span interval and structured event recorded by this domain,
+   and to every log line. *)
+let req_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let request_id () = !(Domain.DLS.get req_key)
+
+let set_request_id r = Domain.DLS.get req_key := r
+
+let with_request_id id f =
+  let r = Domain.DLS.get req_key in
+  let old = !r in
+  r := Some id;
+  Fun.protect ~finally:(fun () -> r := old) f
 
 let now () = Unix.gettimeofday ()
 
 let epoch = ref (now ())
 
+(* Reset hooks let sibling modules (Events) clear their buffers inside
+   the same critical section, so a reset between requests cannot leak a
+   prior request's trace into the next scrape. Hooks must not call back
+   into Obs. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let on_reset f = reset_hooks := f :: !reset_hooks
+
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset span_stats;
-  Hashtbl.reset histograms;
-  events := [];
-  n_events := 0;
-  depth := 0;
-  epoch := now ()
+  with_lock (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset span_stats;
+      Hashtbl.reset histograms;
+      Queue.clear events;
+      epoch := now ();
+      List.iter (fun f -> f ()) !reset_hooks);
+  Domain.DLS.get depth_key := 0
 
 let elapsed_s () = now () -. !epoch
 
@@ -86,17 +143,20 @@ let is_enabled () = !enabled
 
 let add name n =
   if !enabled then
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add counters name (ref n)
+    with_lock (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add counters name (ref n))
 
 let count name = add name 1
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 
 let counters_alist () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  with_lock (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -110,74 +170,88 @@ let bucket_of v =
     go 1 v
   end
 
+(* Upper bound of bucket [i] ([infinity] for the last, which absorbs
+   every larger value); used by the OpenMetrics exposition. *)
+let bucket_le i = if i >= n_buckets - 1 then infinity else Float.of_int (1 lsl i)
+
 let observe name v =
-  if !enabled then begin
-    let h =
-      match Hashtbl.find_opt histograms name with
-      | Some h -> h
-      | None ->
-          let h =
-            { h_count = 0;
-              h_sum = 0.0;
-              h_min = infinity;
-              h_max = neg_infinity;
-              h_buckets = Array.make n_buckets 0
-            }
-          in
-          Hashtbl.add histograms name h;
-          h
-    in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1
-  end
+  if !enabled then
+    with_lock (fun () ->
+        let h =
+          match Hashtbl.find_opt histograms name with
+          | Some h -> h
+          | None ->
+              let h =
+                { h_count = 0;
+                  h_sum = 0.0;
+                  h_min = infinity;
+                  h_max = neg_infinity;
+                  h_buckets = Array.make n_buckets 0
+                }
+              in
+              Hashtbl.add histograms name h;
+              h
+        in
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        let b = bucket_of v in
+        h.h_buckets.(b) <- h.h_buckets.(b) + 1)
 
 let observe_int name v = observe name (float_of_int v)
 
 let histogram_summary name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> Some (h.h_count, h.h_sum, h.h_min, h.h_max)
-  | None -> None
+  with_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> Some (h.h_count, h.h_sum, h.h_min, h.h_max)
+      | None -> None)
+
+let histogram_buckets name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> Some (Array.copy h.h_buckets)
+      | None -> None)
 
 let histograms_alist () =
-  Hashtbl.fold
-    (fun name h acc -> (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc)
-    histograms []
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun name h acc -> (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc)
+        histograms [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let record_span name start_abs dur =
-  (match Hashtbl.find_opt span_stats name with
-  | Some s ->
-      s.calls <- s.calls + 1;
-      s.total_s <- s.total_s +. dur;
-      if dur > s.max_s then s.max_s <- dur
-  | None -> Hashtbl.add span_stats name { calls = 1; total_s = dur; max_s = dur });
-  if !n_events < max_events then begin
-    events :=
-      { ev_name = name;
-        ev_start_s = start_abs -. !epoch;
-        ev_dur_s = dur;
-        ev_depth = !depth
-      }
-      :: !events;
-    incr n_events
-  end
+let record_span name start_abs dur ~depth ~req =
+  with_lock (fun () ->
+      (match Hashtbl.find_opt span_stats name with
+      | Some s ->
+          s.calls <- s.calls + 1;
+          s.total_s <- s.total_s +. dur;
+          if dur > s.max_s then s.max_s <- dur
+      | None ->
+          Hashtbl.add span_stats name { calls = 1; total_s = dur; max_s = dur });
+      Queue.push
+        { ev_name = name;
+          ev_start_s = start_abs -. !epoch;
+          ev_dur_s = dur;
+          ev_depth = depth;
+          ev_req = req
+        }
+        events;
+      if Queue.length events > !max_events then ignore (Queue.pop events))
 
 let span name f =
   if not !enabled then f ()
   else begin
+    let d = Domain.DLS.get depth_key in
     let start = now () in
-    incr depth;
+    incr d;
     let finish () =
-      decr depth;
-      record_span name start (now () -. start)
+      decr d;
+      record_span name start (now () -. start) ~depth:!d ~req:(request_id ())
     in
     match f () with
     | v ->
@@ -189,19 +263,37 @@ let span name f =
   end
 
 let span_calls name =
-  match Hashtbl.find_opt span_stats name with Some s -> s.calls | None -> 0
+  with_lock (fun () ->
+      match Hashtbl.find_opt span_stats name with Some s -> s.calls | None -> 0)
 
 let span_total_s name =
-  match Hashtbl.find_opt span_stats name with Some s -> s.total_s | None -> 0.0
+  with_lock (fun () ->
+      match Hashtbl.find_opt span_stats name with
+      | Some s -> s.total_s
+      | None -> 0.0)
 
 let spans_alist () =
-  Hashtbl.fold
-    (fun name s acc -> (name, (s.calls, s.total_s, s.max_s)) :: acc)
-    span_stats []
-  |> List.sort (fun (_, (_, ta, _)) (_, (_, tb, _)) -> compare tb ta)
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun name s acc -> (name, (s.calls, s.total_s, s.max_s)) :: acc)
+        span_stats [])
+  |> List.sort (fun (na, (_, ta, _)) (nb, (_, tb, _)) ->
+         match compare tb ta with 0 -> compare na nb | c -> c)
 
-let trace_events () =
-  List.rev_map (fun e -> (e.ev_name, e.ev_start_s, e.ev_dur_s, e.ev_depth)) !events
+let recorded_events ?req () =
+  with_lock (fun () ->
+      Queue.fold
+        (fun acc e ->
+          match req with
+          | Some r when e.ev_req <> Some r -> acc
+          | _ -> e :: acc)
+        [] events)
+  |> List.rev
+
+let trace_events ?req () =
+  List.map
+    (fun e -> (e.ev_name, e.ev_start_s, e.ev_dur_s, e.ev_depth))
+    (recorded_events ?req ())
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
@@ -255,21 +347,7 @@ let stats_table () =
     Buffer.add_string b "(no observability data recorded)\n";
   Buffer.contents b
 
-let escape_json s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape_json = Json_util.escape
 
 let json_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
@@ -323,7 +401,7 @@ let chrome_trace () =
         (Printf.sprintf
            ",{\"name\":\"%s\",\"cat\":\"pass\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d}}"
            (escape_json e.ev_name) ts (e.ev_dur_s *. 1e6) e.ev_depth))
-    (List.rev !events);
+    (recorded_events ());
   let cs = counters_alist () in
   if cs <> [] then begin
     Buffer.add_string b

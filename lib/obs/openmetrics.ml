@@ -1,0 +1,165 @@
+(* OpenMetrics v1 text exposition of the Obs registries (see
+   openmetrics.mli).
+
+   Layout is deterministic so scrapes are diffable and the golden test
+   can pin exact text: caller-supplied gauge/counter families first (in
+   the given order — the daemon's process gauges), then every Obs
+   counter as its own counter family (sorted by name), then the two
+   labeled span families, then every histogram (sorted by name), then
+   the mandatory "# EOF" terminator. *)
+
+type mtype = Counter | Gauge
+
+type family = {
+  fam_name : string;  (* full exposition name, e.g. "memcomp_uptime_seconds" *)
+  fam_help : string;
+  fam_type : mtype;
+  fam_samples : ((string * string) list * float) list;
+}
+
+let prefix = "memcomp_"
+
+(* Metric names admit [a-zA-Z0-9_:] only; dotted Obs names map onto
+   underscores ("fm.eliminate" -> "fm_eliminate"). *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    s
+
+(* Label values escape only backslash, double-quote and newline (the
+   OpenMetrics rules — narrower than JSON escaping). *)
+let escape_label s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_text = function
+  | [] -> ""
+  | kvs ->
+      let b = Buffer.create 64 in
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%s=\"%s\"" k (escape_label v)))
+        kvs;
+      Buffer.add_char b '}';
+      Buffer.contents b
+
+let type_text = function Counter -> "counter" | Gauge -> "gauge"
+
+let add_meta b name help typ =
+  Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_label help));
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (type_text typ))
+
+let add_family b f =
+  add_meta b f.fam_name f.fam_help f.fam_type;
+  let suffix = match f.fam_type with Counter -> "_total" | Gauge -> "" in
+  List.iter
+    (fun (labels, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s%s %s\n" f.fam_name suffix (labels_text labels) (number v)))
+    f.fam_samples
+
+let render ?(extra = []) () =
+  let b = Buffer.create 8192 in
+  List.iter (add_family b) extra;
+  (* Obs counters: one single-sample counter family each. *)
+  List.iter
+    (fun (name, v) ->
+      add_family b
+        { fam_name = prefix ^ sanitize name;
+          fam_help = Printf.sprintf "Obs counter %s" name;
+          fam_type = Counter;
+          fam_samples = [ ([], float_of_int v) ]
+        })
+    (Obs.counters_alist ());
+  (* Span aggregates: two labeled counter families. *)
+  let spans = List.sort compare (Obs.spans_alist ()) in
+  if spans <> [] then begin
+    add_family b
+      { fam_name = prefix ^ "span_calls";
+        fam_help = "Completed calls per Obs span";
+        fam_type = Counter;
+        fam_samples =
+          List.map (fun (n, (calls, _, _)) -> ([ ("span", n) ], float_of_int calls)) spans
+      };
+    add_family b
+      { fam_name = prefix ^ "span_seconds";
+        fam_help = "Cumulative wall seconds per Obs span";
+        fam_type = Counter;
+        fam_samples = List.map (fun (n, (_, total, _)) -> ([ ("span", n) ], total)) spans
+      }
+  end;
+  (* Histograms: cumulative le-buckets up to the highest occupied one,
+     then the mandatory +Inf bucket, _count and _sum. *)
+  List.iter
+    (fun (name, (count, sum, _, _)) ->
+      let fam = prefix ^ sanitize name in
+      Buffer.add_string b (Printf.sprintf "# HELP %s Obs histogram %s\n" fam name);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" fam);
+      (match Obs.histogram_buckets name with
+      | None -> ()
+      | Some occ ->
+          let last =
+            let l = ref 0 in
+            Array.iteri (fun i c -> if c > 0 then l := i) occ;
+            !l
+          in
+          let cum = ref 0 in
+          for i = 0 to min last (Obs.n_buckets - 2) do
+            cum := !cum + occ.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" fam
+                 (number (Obs.bucket_le i))
+                 !cum)
+          done;
+          Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" fam count));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" fam count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" fam (number sum)))
+    (Obs.histograms_alist ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* --------------------------------------------------------------- *)
+(* Scrape-side helper: extract "<family>_total" counter samples      *)
+(* (unlabeled) from an exposition — used by the bench load generator *)
+(* and tests to check counters against Obs.counters_alist.           *)
+(* --------------------------------------------------------------- *)
+
+let parse_counters text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some sp ->
+               let name = String.sub line 0 sp in
+               let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+               if
+                 String.length name > 6
+                 && String.sub name (String.length name - 6) 6 = "_total"
+                 && not (String.contains name '{')
+               then
+                 match float_of_string_opt v with
+                 | Some f when Float.is_integer f ->
+                     Some (String.sub name 0 (String.length name - 6), int_of_float f)
+                 | _ -> None
+               else None)

@@ -1,0 +1,36 @@
+(** OpenMetrics v1 text exposition of the {!Obs} registries, served at
+    the daemon's [GET /metrics].
+
+    Every Obs counter becomes its own counter family
+    ([memcomp_<name>_total] with dots mapped to underscores), span
+    aggregates become two labeled families ([memcomp_span_calls_total]
+    / [memcomp_span_seconds_total] with a [span] label), and every
+    histogram becomes a [memcomp_<name>] histogram family with
+    cumulative [le] buckets (powers of two, then [+Inf]), [_count] and
+    [_sum]. Output is deterministic (sorted) and ends with the
+    mandatory [# EOF] terminator. *)
+
+type mtype = Counter | Gauge
+
+type family = {
+  fam_name : string;  (** full exposition name, e.g. ["memcomp_uptime_seconds"] *)
+  fam_help : string;
+  fam_type : mtype;
+  fam_samples : ((string * string) list * float) list;
+      (** (labels, value) pairs; counters get a [_total] suffix *)
+}
+
+val sanitize : string -> string
+(** Map a dotted Obs name onto the metric-name alphabet
+    ([a-zA-Z0-9_:]); every other byte becomes ['_']. *)
+
+val render : ?extra:family list -> unit -> string
+(** Render the full exposition. [?extra] families (the daemon's process
+    gauges and request-latency summaries) are emitted first, in the
+    given order. *)
+
+val parse_counters : string -> (string * int) list
+(** Scrape-side helper: unlabeled [<family>_total] samples from an
+    exposition as [(family_without_suffix, value)], in document order.
+    Used by the bench load generator and tests to compare two scrapes
+    and to check counters against [Obs.counters_alist]. *)

@@ -19,7 +19,15 @@
    simply recomputed; results are identical by construction, which the
    test_props differential suite enforces), MEMCOMP_FM_CACHE_SIZE sets
    the per-cache generation capacity. Both are also settable
-   programmatically. *)
+   programmatically.
+
+   Domain safety: one mutex guards every cache and the registry.
+   [find_or_add] never holds it across [compute] — compute can recurse
+   into other caches (the mutex is not reentrant) and can be expensive;
+   a concurrent miss on the same key just computes twice and the second
+   insert wins, which is correct for these pure memoizations. Obs
+   counter mirrors are emitted outside the lock (lock order: Fm_cache
+   -> Obs, never the reverse). *)
 
 type stats = {
   st_name : string;
@@ -67,6 +75,18 @@ type registered = {
 
 let registry : registered list ref = ref []
 
+let mu = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 let create name =
   let stats = { st_name = name; st_hits = 0; st_misses = 0; st_evicted = 0 } in
   let c =
@@ -78,85 +98,109 @@ let create name =
       old = Hashtbl.create 256
     }
   in
-  registry :=
-    { r_stats = stats;
-      r_clear =
-        (fun () ->
-          Hashtbl.reset c.young;
-          Hashtbl.reset c.old);
-      r_size = (fun () -> Hashtbl.length c.young + Hashtbl.length c.old)
-    }
-    :: !registry;
+  with_lock (fun () ->
+      registry :=
+        { r_stats = stats;
+          r_clear =
+            (fun () ->
+              Hashtbl.reset c.young;
+              Hashtbl.reset c.old);
+          r_size = (fun () -> Hashtbl.length c.young + Hashtbl.length c.old)
+        }
+        :: !registry);
   c
 
 (* ------------------------------------------------------------------ *)
 (* Probe                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let hit c =
-  c.stats.st_hits <- c.stats.st_hits + 1;
+(* Runs under the lock; returns the number of entries evicted so the
+   caller can mirror them into Obs after unlocking. *)
+let insert_unlocked c k v =
+  let evicted =
+    if Hashtbl.length c.young >= !capacity then begin
+      let evicted = Hashtbl.length c.old in
+      if evicted > 0 then c.stats.st_evicted <- c.stats.st_evicted + evicted;
+      let emptied = c.old in
+      Hashtbl.reset emptied;
+      c.old <- c.young;
+      c.young <- emptied;
+      evicted
+    end
+    else 0
+  in
+  Hashtbl.replace c.young k v;
+  evicted
+
+let mirror_evicted c evicted =
+  if evicted > 0 then begin
+    Obs.add c.obs_evict evicted;
+    Obs.add "fm.cache.evict" evicted
+  end
+
+let mirror_hit c =
   Obs.count c.obs_hit;
   Obs.count "fm.cache.hit"
 
-let miss c =
-  c.stats.st_misses <- c.stats.st_misses + 1;
+let mirror_miss c =
   Obs.count c.obs_miss;
   Obs.count "fm.cache.miss"
 
-let insert c k v =
-  if Hashtbl.length c.young >= !capacity then begin
-    let evicted = Hashtbl.length c.old in
-    if evicted > 0 then begin
-      c.stats.st_evicted <- c.stats.st_evicted + evicted;
-      Obs.add c.obs_evict evicted;
-      Obs.add "fm.cache.evict" evicted
-    end;
-    let emptied = c.old in
-    Hashtbl.reset emptied;
-    c.old <- c.young;
-    c.young <- emptied
-  end;
-  Hashtbl.replace c.young k v
-
 let find_or_add c k compute =
   if not !enabled then compute ()
-  else
-    match Hashtbl.find_opt c.young k with
-    | Some v ->
-        hit c;
+  else begin
+    let probe =
+      with_lock (fun () ->
+          match Hashtbl.find_opt c.young k with
+          | Some v ->
+              c.stats.st_hits <- c.stats.st_hits + 1;
+              Some (v, 0)
+          | None -> (
+              match Hashtbl.find_opt c.old k with
+              | Some v ->
+                  (* promote so a warm entry survives the next rotation *)
+                  c.stats.st_hits <- c.stats.st_hits + 1;
+                  Some (v, insert_unlocked c k v)
+              | None ->
+                  c.stats.st_misses <- c.stats.st_misses + 1;
+                  None))
+    in
+    match probe with
+    | Some (v, evicted) ->
+        mirror_hit c;
+        mirror_evicted c evicted;
         v
-    | None -> (
-        match Hashtbl.find_opt c.old k with
-        | Some v ->
-            (* promote so a warm entry survives the next rotation *)
-            hit c;
-            insert c k v;
-            v
-        | None ->
-            miss c;
-            let v = compute () in
-            insert c k v;
-            v)
+    | None ->
+        mirror_miss c;
+        (* computed outside the lock: compute can recurse into caches
+           and a concurrent duplicate compute is harmless (pure). *)
+        let v = compute () in
+        let evicted = with_lock (fun () -> insert_unlocked c k v) in
+        mirror_evicted c evicted;
+        v
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  List.iter
-    (fun r ->
-      r.r_clear ();
-      r.r_stats.st_hits <- 0;
-      r.r_stats.st_misses <- 0;
-      r.r_stats.st_evicted <- 0)
-    !registry;
+  with_lock (fun () ->
+      List.iter
+        (fun r ->
+          r.r_clear ();
+          r.r_stats.st_hits <- 0;
+          r.r_stats.st_misses <- 0;
+          r.r_stats.st_evicted <- 0)
+        !registry);
   Hc.clear ()
 
 let stats_alist () =
-  List.map
-    (fun r ->
-      (r.r_stats.st_name, (r.r_stats.st_hits, r.r_stats.st_misses, r.r_stats.st_evicted, r.r_size ())))
-    !registry
+  with_lock (fun () ->
+      List.map
+        (fun r ->
+          (r.r_stats.st_name, (r.r_stats.st_hits, r.r_stats.st_misses, r.r_stats.st_evicted, r.r_size ())))
+        !registry)
   |> List.sort compare
 
 let stats_table () =

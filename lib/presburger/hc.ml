@@ -9,7 +9,12 @@
    Ids are monotonically increasing and never reused: when the interning
    tables are trimmed (capacity bound) or cleared, stale ids simply stop
    matching anything, which keeps entries cached under an old id from
-   ever aliasing a different system. *)
+   ever aliasing a different system.
+
+   A single mutex guards all three tables, so compiles running
+   concurrently across domains (the serve daemon) can intern safely;
+   uncontended Mutex.lock is cheap relative to the structural hashing a
+   probe already does. *)
 
 type sys = { sys_id : int; sys_cstrs : Cstr.t list }
 
@@ -17,6 +22,18 @@ type sys = { sys_id : int; sys_cstrs : Cstr.t list }
    exceed this many entries, so a pathological compile cannot grow them
    without bound. Sharing is lost for live systems, correctness is not. *)
 let max_interned = 1 lsl 17
+
+let mu = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let cstr_tbl : (Cstr.t, Cstr.t * int) Hashtbl.t = Hashtbl.create 4096
 
@@ -28,11 +45,11 @@ let fresh_id () =
   incr next_id;
   !next_id
 
-let n_interned_cstrs () = Hashtbl.length cstr_tbl
+let n_interned_cstrs () = with_lock (fun () -> Hashtbl.length cstr_tbl)
 
-let n_interned_systems () = Hashtbl.length sys_tbl
+let n_interned_systems () = with_lock (fun () -> Hashtbl.length sys_tbl)
 
-let intern_cstr (c : Cstr.t) =
+let intern_cstr_unlocked (c : Cstr.t) =
   match Hashtbl.find_opt cstr_tbl c with
   | Some entry -> entry
   | None ->
@@ -41,7 +58,7 @@ let intern_cstr (c : Cstr.t) =
       Hashtbl.add cstr_tbl c entry;
       entry
 
-let cstr c = fst (intern_cstr c)
+let cstr c = with_lock (fun () -> fst (intern_cstr_unlocked c))
 
 (* Physical-identity index of canonical representative lists. Lists
    registered here are exactly the [sys_cstrs] of systems interned via
@@ -59,15 +76,16 @@ end)
 
 let rep_tbl : sys Phys.t = Phys.create 4096
 
-let find_rep cstrs = Phys.find_opt rep_tbl cstrs
+let find_rep cstrs = with_lock (fun () -> Phys.find_opt rep_tbl cstrs)
 
 let clear () =
-  Hashtbl.reset cstr_tbl;
-  Hashtbl.reset sys_tbl;
-  Phys.reset rep_tbl
+  with_lock (fun () ->
+      Hashtbl.reset cstr_tbl;
+      Hashtbl.reset sys_tbl;
+      Phys.reset rep_tbl)
 
-let intern_structural cstrs =
-  let reps = List.map intern_cstr cstrs in
+let intern_structural_unlocked cstrs =
+  let reps = List.map intern_cstr_unlocked cstrs in
   let key = List.map snd reps in
   match Hashtbl.find_opt sys_tbl key with
   | Some s -> s
@@ -78,15 +96,17 @@ let intern_structural cstrs =
       s
 
 let intern cstrs =
-  match Phys.find_opt rep_tbl cstrs with
-  | Some s -> s
-  | None -> intern_structural cstrs
+  with_lock (fun () ->
+      match Phys.find_opt rep_tbl cstrs with
+      | Some s -> s
+      | None -> intern_structural_unlocked cstrs)
 
 let intern_rep cstrs =
-  match Phys.find_opt rep_tbl cstrs with
-  | Some s -> s
-  | None ->
-      let s = intern_structural cstrs in
-      if Phys.length rep_tbl >= max_interned then Phys.reset rep_tbl;
-      Phys.replace rep_tbl s.sys_cstrs s;
-      s
+  with_lock (fun () ->
+      match Phys.find_opt rep_tbl cstrs with
+      | Some s -> s
+      | None ->
+          let s = intern_structural_unlocked cstrs in
+          if Phys.length rep_tbl >= max_interned then Phys.reset rep_tbl;
+          Phys.replace rep_tbl s.sys_cstrs s;
+          s)

@@ -1,0 +1,310 @@
+(* Minimal dependency-free HTTP/1.1 server on OCaml 5 domains (see
+   httpd.mli).
+
+   Shape: one accept domain multiplexes the listening socket with
+   [Unix.select] (250 ms tick, so a stop request is noticed promptly),
+   pushing accepted connections onto a mutex/condition queue drained by
+   a fixed pool of worker domains. Every response carries
+   "Connection: close" — one connection per request keeps the framing
+   trivial and is plenty for a compile daemon whose requests cost
+   milliseconds to minutes.
+
+   This is intentionally a subset of HTTP/1.1: request bodies require
+   Content-Length (no chunked encoding), and headers are capped at 64
+   KiB. Enough for the compile daemon and its load generator. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (* header names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  extra_headers : (string * string) list;
+}
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    ?(headers = []) body =
+  { status; content_type; body; extra_headers = headers }
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Wire reading/writing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let max_head_bytes = 64 * 1024
+
+let max_body_bytes = 16 * 1024 * 1024
+
+exception Bad_request of string
+
+let read_until_blank_line fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let head = Buffer.contents buf in
+    match String.index_opt head '\r' with
+    | _ when String.length head > max_head_bytes -> raise (Bad_request "headers too large")
+    | _ -> (
+        (* look for the header terminator in what we have so far *)
+        let idx =
+          let rec find i =
+            if i + 3 >= String.length head then None
+            else if String.sub head i 4 = "\r\n\r\n" then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        match idx with
+        | Some i ->
+            (String.sub head 0 i, String.sub head (i + 4) (String.length head - i - 4))
+        | None ->
+            let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if n = 0 then raise (Bad_request "connection closed mid-headers");
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let read_exactly fd already n =
+  if n > max_body_bytes then raise (Bad_request "body too large");
+  let out = Buffer.create n in
+  Buffer.add_string out already;
+  let chunk = Bytes.create 4096 in
+  while Buffer.length out < n do
+    let k = Unix.read fd chunk 0 (min (Bytes.length chunk) (n - Buffer.length out)) in
+    if k = 0 then raise (Bad_request "connection closed mid-body");
+    Buffer.add_subbytes out chunk 0 k
+  done;
+  Buffer.contents out
+
+let parse_request fd =
+  let head, rest = read_until_blank_line fd in
+  match String.split_on_char '\n' head |> List.map (fun l -> String.trim l) with
+  | [] -> raise (Bad_request "empty request")
+  | request_line :: header_lines ->
+      let meth, path =
+        match String.split_on_char ' ' request_line with
+        | meth :: path :: _ -> (meth, path)
+        | _ -> raise (Bad_request "malformed request line")
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+          header_lines
+      in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | None -> ""
+        | Some l -> (
+            match int_of_string_opt l with
+            | Some n when n >= 0 -> read_exactly fd rest n
+            | _ -> raise (Bad_request "bad content-length"))
+      in
+      { meth; path; headers; body }
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let write_response fd (r : response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n%s\r\n"
+      r.status (reason_of r.status) r.content_type (String.length r.body)
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.extra_headers))
+  in
+  write_all fd (head ^ r.body)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared between the accept domain and the workers. *)
+type shared = {
+  listen_fd : Unix.file_descr;
+  srv_port : int;
+  stop : bool Atomic.t;
+  qmu : Mutex.t;
+  qcond : Condition.t;
+  queue : Unix.file_descr Queue.t;
+}
+
+type t = {
+  sh : shared;
+  accept_domain : unit Domain.t;
+  workers : unit Domain.t list;
+}
+
+let port t = t.sh.srv_port
+
+let handle_connection handler conn =
+  let resp =
+    match parse_request conn with
+    | req -> (
+        try handler req
+        with e ->
+          response ~status:500
+            (Printf.sprintf "internal error: %s\n" (Printexc.to_string e)))
+    | exception Bad_request msg -> response ~status:400 (msg ^ "\n")
+    | exception _ -> response ~status:400 "malformed request\n"
+  in
+  (try write_response conn resp with _ -> ());
+  (try Unix.close conn with _ -> ())
+
+let worker_loop sh handler =
+  let rec go () =
+    let job =
+      Mutex.lock sh.qmu;
+      let rec wait () =
+        if Atomic.get sh.stop && Queue.is_empty sh.queue then None
+        else if Queue.is_empty sh.queue then begin
+          Condition.wait sh.qcond sh.qmu;
+          wait ()
+        end
+        else Some (Queue.pop sh.queue)
+      in
+      let j = wait () in
+      Mutex.unlock sh.qmu;
+      j
+    in
+    match job with
+    | None -> ()
+    | Some conn ->
+        handle_connection handler conn;
+        go ()
+  in
+  go ()
+
+let accept_loop sh =
+  let rec go () =
+    if not (Atomic.get sh.stop) then begin
+      (match Unix.select [ sh.listen_fd ] [] [] 0.25 with
+      | [ _ ], _, _ -> (
+          match Unix.accept sh.listen_fd with
+          | conn, _ ->
+              Mutex.lock sh.qmu;
+              Queue.push conn sh.queue;
+              Condition.signal sh.qcond;
+              Mutex.unlock sh.qmu
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+    else begin
+      (* wake every worker so they can observe the stop flag and drain *)
+      Mutex.lock sh.qmu;
+      Condition.broadcast sh.qcond;
+      Mutex.unlock sh.qmu
+    end
+  in
+  go ()
+
+let start ?(workers = 4) ~port handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 128;
+  let srv_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let sh =
+    { listen_fd = fd;
+      srv_port;
+      stop = Atomic.make false;
+      qmu = Mutex.create ();
+      qcond = Condition.create ();
+      queue = Queue.create ()
+    }
+  in
+  { sh;
+    accept_domain = Domain.spawn (fun () -> accept_loop sh);
+    workers =
+      List.init (max 1 workers) (fun _ ->
+          Domain.spawn (fun () -> worker_loop sh handler))
+  }
+
+let stop t =
+  Atomic.set t.sh.stop true;
+  Domain.join t.accept_domain;
+  Mutex.lock t.sh.qmu;
+  Condition.broadcast t.sh.qcond;
+  Mutex.unlock t.sh.qmu;
+  List.iter Domain.join t.workers;
+  (try Unix.close t.sh.listen_fd with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Client helper (used by the bench load generator and tests)          *)
+(* ------------------------------------------------------------------ *)
+
+let read_to_eof fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let request ?(meth = "GET") ?(body = "") ~port path =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let head =
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: 127.0.0.1:%d\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+            meth path port (String.length body)
+        in
+        write_all fd (head ^ body);
+        let raw = read_to_eof fd in
+        (* split status line / headers / body *)
+        let hdr_end =
+          let rec find i =
+            if i + 3 >= String.length raw then raise (Bad_request "truncated response")
+            else if String.sub raw i 4 = "\r\n\r\n" then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let head_text = String.sub raw 0 hdr_end in
+        let body_text = String.sub raw (hdr_end + 4) (String.length raw - hdr_end - 4) in
+        let status =
+          match String.split_on_char ' ' head_text with
+          | _ :: code :: _ -> ( match int_of_string_opt code with Some c -> c | None -> 0)
+          | _ -> 0
+        in
+        (status, body_text))
+  with
+  | r -> Ok r
+  | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,57 @@
+(** Minimal dependency-free HTTP/1.1 server on OCaml 5 domains.
+
+    One accept domain multiplexes the listening socket (with a 250 ms
+    [select] tick so {!stop} is noticed promptly) and hands accepted
+    connections to a fixed pool of worker domains; the handler runs on
+    a worker. One connection per request ([Connection: close]); bodies
+    require [Content-Length] (no chunked encoding).
+
+    Binds the loopback interface only — the daemon is a local service,
+    not an internet-facing one. *)
+
+type request = {
+  meth : string;  (** e.g. ["GET"], ["POST"] *)
+  path : string;  (** raw request target, e.g. ["/metrics"] *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  extra_headers : (string * string) list;
+}
+
+val response :
+  ?status:int ->
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  string ->
+  response
+(** Build a response; defaults: 200, [text/plain; charset=utf-8]. *)
+
+type t
+
+val start : ?workers:int -> port:int -> (request -> response) -> t
+(** Bind loopback [port] (0 picks a free port — see {!port}) and serve
+    on [workers] (default 4) worker domains. Handler exceptions become
+    500 responses; malformed requests 400. *)
+
+val port : t -> int
+(** The actually-bound port (useful after [~port:0]). *)
+
+val stop : t -> unit
+(** Stop accepting, drain queued connections, join all domains, and
+    close the listening socket. Idempotence is not required of callers;
+    call once. *)
+
+(** {1 Client helper}
+
+    A tiny blocking HTTP client for the load generator and tests. *)
+
+val request :
+  ?meth:string -> ?body:string -> port:int -> string -> (int * string, string) result
+(** [request ~port path] connects to loopback [port], performs the
+    request, and returns [(status, body)], or [Error] on connection
+    failure. *)

@@ -1,0 +1,303 @@
+(* The memcomp compile daemon (see server.mli).
+
+   Endpoints:
+     POST /compile         workload+flow+tile JSON -> generated code JSON
+     GET  /metrics         OpenMetrics exposition of the Obs registries
+     GET  /healthz         liveness probe
+     GET  /buildinfo       version / toolchain / workload inventory
+     GET  /trace/<req-id>  archived per-request Chrome trace
+
+   Instrumentation contract (the bench load generator relies on it):
+   the per-endpoint request counters (http.requests, http.<endpoint>)
+   are incremented on arrival, BEFORE the handler runs — so a /metrics
+   scrape always includes its own request — while the latency
+   histograms are observed after the handler returns. Between two
+   otherwise idle scrapes the only counters that move are
+   http.requests and http.metrics, each by exactly one.
+
+   Compile requests get a request id (r000001, ...) that links the
+   JSONL log lines, the Events decision trace, and the archived Chrome
+   trace served at /trace/<id>. *)
+
+open Json_util
+
+type state = {
+  started : float;
+  inflight : int Atomic.t;
+  req_counter : int Atomic.t;
+}
+
+type t = { st : state; httpd : Httpd.t }
+
+let port t = Httpd.port t.httpd
+
+(* ------------------------------------------------------------------ *)
+(* Compile flows (mirrors the CLI's flow table)                        *)
+(* ------------------------------------------------------------------ *)
+
+type flow =
+  | Flow_naive
+  | Flow_heuristic of Fusion.heuristic
+  | Flow_ours
+  | Flow_polymage
+  | Flow_halide
+
+let flow_of_string = function
+  | "naive" -> Some Flow_naive
+  | "minfuse" -> Some (Flow_heuristic Fusion.Minfuse)
+  | "smartfuse" -> Some (Flow_heuristic Fusion.Smartfuse)
+  | "maxfuse" -> Some (Flow_heuristic Fusion.Maxfuse)
+  | "hybridfuse" -> Some (Flow_heuristic Fusion.Hybridfuse)
+  | "ours" -> Some Flow_ours
+  | "polymage" -> Some Flow_polymage
+  | "halide" -> Some Flow_halide
+  | _ -> None
+
+let version_of flow ~tile prog =
+  match flow with
+  | Flow_naive -> Exp_util.naive prog
+  | Flow_heuristic h -> Exp_util.heuristic ~tile ~target:Core.Pipeline.Cpu h prog
+  | Flow_ours -> Exp_util.ours ~tile ~target:Core.Pipeline.Cpu prog
+  | Flow_polymage -> Exp_util.polymage_version ~tile ~target:Core.Pipeline.Cpu prog
+  | Flow_halide -> Exp_util.halide_version ~tile ~target:Core.Pipeline.Cpu prog
+
+(* ------------------------------------------------------------------ *)
+(* Process gauges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let page_size = 4096
+
+let rss_bytes () =
+  match open_in "/proc/self/statm" with
+  | exception _ -> 0
+  | ic -> (
+      let close () = try close_in ic with _ -> () in
+      match input_line ic with
+      | exception _ ->
+          close ();
+          0
+      | line -> (
+          close ();
+          match String.split_on_char ' ' line with
+          | _ :: resident :: _ -> (
+              match int_of_string_opt resident with
+              | Some pages -> pages * page_size
+              | None -> 0)
+          | _ -> 0))
+
+let process_families st =
+  let open Openmetrics in
+  [ { fam_name = "memcomp_uptime_seconds";
+      fam_help = "Seconds since the daemon started";
+      fam_type = Gauge;
+      fam_samples = [ ([], Unix.gettimeofday () -. st.started) ]
+    };
+    { fam_name = "memcomp_process_resident_bytes";
+      fam_help = "Resident set size of the daemon process";
+      fam_type = Gauge;
+      fam_samples = [ ([], float_of_int (rss_bytes ())) ]
+    };
+    { fam_name = "memcomp_jobs_in_flight";
+      fam_help = "Compile requests currently executing";
+      fam_type = Gauge;
+      fam_samples = [ ([], float_of_int (Atomic.get st.inflight)) ]
+    }
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_response ?(status = 200) fields =
+  Httpd.response ~status ~content_type:"application/json"
+    (Json.to_string (Json.Obj fields) ^ "\n")
+
+let error_response status msg = json_response ~status [ ("error", Json.Str msg) ]
+
+let handle_healthz () = Httpd.response "ok\n"
+
+let handle_buildinfo () =
+  json_response
+    [ ("name", Json.Str "memcomp");
+      ("version", Json.Str "1.0");
+      ("ocaml", Json.Str Sys.ocaml_version);
+      ("os_type", Json.Str Sys.os_type);
+      ("word_size", Json.Num (float_of_int Sys.word_size));
+      ("pid", Json.Num (float_of_int (Unix.getpid ())));
+      ("workloads", Json.Num (float_of_int (List.length Registry.all)))
+    ]
+
+let handle_metrics st =
+  Httpd.response
+    ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
+    (Openmetrics.render ~extra:(process_families st) ())
+
+(* Raw Obs counters as JSON — the load generator cross-checks the
+   /metrics exposition against this (the daemon's internal truth). *)
+let handle_counters () =
+  json_response
+    (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) (Obs.counters_alist ()))
+
+let handle_trace path =
+  let id = String.sub path 7 (String.length path - 7) in
+  match Trace_store.find id with
+  | Some trace -> Httpd.response ~content_type:"application/json" trace
+  | None -> error_response 404 (Printf.sprintf "no archived trace for request %S" id)
+
+let member_string key default body =
+  match Json.member key body with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+  | None -> ( match default with Some d -> Ok d | None -> Error (Printf.sprintf "missing field %S" key))
+
+let member_int key default body =
+  match Json.member key body with
+  | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+  | None -> Ok default
+
+let member_bool key default body =
+  match Json.member key body with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+  | None -> Ok default
+
+let handle_compile st (r : Httpd.request) =
+  let ( let* ) x f = match x with Ok v -> f v | Error msg -> error_response 400 msg in
+  let* body =
+    match Json.parse r.body with
+    | Ok b -> Ok b
+    | Error msg -> Error (Printf.sprintf "bad JSON body: %s" msg)
+  in
+  let* workload = member_string "workload" None body in
+  let* flow_name = member_string "flow" (Some "ours") body in
+  let* tile = member_int "tile" 32 body in
+  let* small = member_bool "small" true body in
+  let* flow =
+    match flow_of_string flow_name with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "unknown flow %S" flow_name)
+  in
+  let* entry =
+    match List.find_opt (fun e -> e.Registry.reg_name = workload) Registry.all with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "unknown workload %S" workload)
+  in
+  let id = Printf.sprintf "r%06d" (Atomic.fetch_and_add st.req_counter 1 + 1) in
+  Atomic.incr st.inflight;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr st.inflight)
+    (fun () ->
+      Obs.with_request_id id (fun () ->
+          Log.info ~cat:"server" "compile.begin"
+            [ ("workload", S workload); ("flow", S flow_name); ("tile", I tile);
+              ("small", B small)
+            ];
+          match
+            Obs.span "http.compile" (fun () ->
+                let prog = if small then entry.Registry.small () else entry.Registry.build () in
+                let v = version_of flow ~tile prog in
+                (prog, v))
+          with
+          | _prog, v ->
+              Obs.count "pipeline.compile_requests";
+              Trace_store.add id (Events.chrome_trace ~req:id ());
+              Log.info ~cat:"server" "compile.end"
+                [ ("workload", S workload); ("flow", S flow_name);
+                  ("compile_s", F v.Exp_util.compile_s)
+                ];
+              json_response
+                [ ("req", Json.Str id);
+                  ("workload", Json.Str workload);
+                  ("flow", Json.Str v.Exp_util.ver_name);
+                  ("tile", Json.Num (float_of_int tile));
+                  ("small", Json.Bool small);
+                  ("compile_s", Json.Num v.Exp_util.compile_s);
+                  ("budget_exceeded", Json.Bool v.Exp_util.budget_exceeded);
+                  ("trace", Json.Str ("/trace/" ^ id));
+                  ("code", Json.Str (Ast.to_string v.Exp_util.ast))
+                ]
+          | exception e ->
+              Trace_store.add id (Events.chrome_trace ~req:id ());
+              Log.error ~cat:"server" "compile.fail"
+                [ ("workload", S workload); ("error", S (Printexc.to_string e)) ];
+              error_response 500 (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let endpoint_of (r : Httpd.request) =
+  match (r.meth, r.path) with
+  | "POST", "/compile" -> "compile"
+  | "GET", "/metrics" -> "metrics"
+  | "GET", "/counters" -> "counters"
+  | "GET", "/healthz" -> "healthz"
+  | "GET", "/buildinfo" -> "buildinfo"
+  | "GET", p when has_prefix "/trace/" p -> "trace"
+  | _ -> "other"
+
+let handler st (r : Httpd.request) =
+  let endpoint = endpoint_of r in
+  (* counters first (a /metrics scrape includes its own request),
+     latency observation after the handler *)
+  Obs.count "http.requests";
+  Obs.count ("http." ^ endpoint);
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    match endpoint with
+    | "compile" -> handle_compile st r
+    | "metrics" -> handle_metrics st
+    | "counters" -> handle_counters ()
+    | "healthz" -> handle_healthz ()
+    | "buildinfo" -> handle_buildinfo ()
+    | "trace" -> handle_trace r.path
+    | _ ->
+        if r.meth <> "GET" && r.meth <> "POST" then
+          error_response 405 (Printf.sprintf "method %s not allowed" r.meth)
+        else error_response 404 (Printf.sprintf "no route for %s %s" r.meth r.path)
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Obs.observe ("http.latency_ms." ^ endpoint) ms;
+  Log.debug ~cat:"http" "request"
+    [ ("method", S r.meth); ("path", S r.path); ("status", I resp.Httpd.status);
+      ("ms", F ms)
+    ];
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(port = 8080) ?(workers = 4) () =
+  (* the daemon's whole point is live telemetry: recording is on *)
+  Obs.reset ();
+  Obs.enable ();
+  let st =
+    { started = Unix.gettimeofday ();
+      inflight = Atomic.make 0;
+      req_counter = Atomic.make 0
+    }
+  in
+  { st; httpd = Httpd.start ~workers ~port (fun r -> handler st r) }
+
+let stop t = Httpd.stop t.httpd
+
+let run ?(port = 8080) ?(workers = 4) () =
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let t = create ~port ~workers () in
+  Log.info ~cat:"server" "listening"
+    [ ("port", I (Httpd.port t.httpd)); ("workers", I workers) ];
+  Printf.printf "memcomp serve: listening on 127.0.0.1:%d (%d workers)\n%!"
+    (Httpd.port t.httpd) workers;
+  while not (Atomic.get stop_requested) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Log.info ~cat:"server" "shutdown" [];
+  Printf.printf "memcomp serve: shutting down\n%!";
+  stop t

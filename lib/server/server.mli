@@ -1,0 +1,38 @@
+(** The memcomp compile daemon: a long-running HTTP service exposing
+    the compiler behind [POST /compile] with live, scrapeable telemetry.
+
+    Endpoints (loopback only):
+    - [POST /compile] — JSON body
+      [{"workload": .., "flow"?: .., "tile"?: .., "small"?: ..}];
+      responds with the generated code, compile time, and the
+      request id linking logs / decision trace / Chrome trace.
+    - [GET /metrics] — OpenMetrics exposition of every Obs counter,
+      span and histogram, plus process gauges (uptime, RSS, jobs in
+      flight) and per-endpoint latency histograms.
+    - [GET /counters] — raw Obs counters as JSON (the internal truth
+      the load generator cross-checks /metrics against).
+    - [GET /healthz], [GET /buildinfo]
+    - [GET /trace/<req-id>] — archived merged Chrome trace of that
+      compile request.
+
+    Instrumentation contract: per-endpoint request counters increment
+    on arrival (a /metrics scrape includes its own request); latency
+    histograms are observed after the handler. Between two otherwise
+    idle scrapes only [http.requests] and [http.metrics] move, each by
+    exactly one — the load generator relies on this to check scraped
+    counters against the daemon's internals. *)
+
+type t
+
+val create : ?port:int -> ?workers:int -> unit -> t
+(** Enable Obs recording and start serving on loopback [port] (default
+    8080; 0 picks a free port) with [workers] worker domains (default
+    4). Returns immediately; use from tests or embedders. *)
+
+val port : t -> int
+
+val stop : t -> unit
+
+val run : ?port:int -> ?workers:int -> unit -> unit
+(** [create], then block until SIGTERM or SIGINT, then [stop]. The CLI
+    entry point ([memcomp serve]). *)

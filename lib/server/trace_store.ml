@@ -1,0 +1,44 @@
+(* Bounded per-request trace archive.
+
+   The Obs/Events rings are shared and eventually overwrite old
+   entries, so the daemon snapshots each request's merged Chrome trace
+   right after the request completes and parks it here, keyed by
+   request id. GET /trace/<req-id> then serves the archived copy even
+   long after the rings have moved on. FIFO-bounded so a long-running
+   daemon holds the newest [capacity] traces. *)
+
+let mu = Mutex.create ()
+
+let capacity = ref 256
+
+let order : string Queue.t = Queue.create ()
+
+let tbl : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let set_capacity n =
+  with_lock (fun () ->
+      capacity := max 1 n;
+      while Queue.length order > !capacity do
+        Hashtbl.remove tbl (Queue.pop order)
+      done)
+
+let add id trace =
+  with_lock (fun () ->
+      if not (Hashtbl.mem tbl id) then Queue.push id order;
+      Hashtbl.replace tbl id trace;
+      while Queue.length order > !capacity do
+        Hashtbl.remove tbl (Queue.pop order)
+      done)
+
+let find id = with_lock (fun () -> Hashtbl.find_opt tbl id)
+
+let size () = with_lock (fun () -> Hashtbl.length tbl)
+
+let clear () =
+  with_lock (fun () ->
+      Queue.clear order;
+      Hashtbl.reset tbl)

@@ -1,0 +1,18 @@
+(** Bounded archive of per-request Chrome traces, keyed by request id.
+
+    The shared Obs/Events rings overwrite old entries; the daemon
+    snapshots each request's merged trace here right after the request
+    completes, so [GET /trace/<req-id>] keeps resolving after the rings
+    move on. FIFO-bounded (default 256 traces). *)
+
+val add : string -> string -> unit
+(** [add req_id trace_json] archives (or replaces) a trace. *)
+
+val find : string -> string option
+
+val size : unit -> int
+
+val set_capacity : int -> unit
+(** Clamp to >= 1; evicts oldest entries if shrinking. *)
+
+val clear : unit -> unit
