@@ -343,6 +343,85 @@ let explain_cmd =
       const run $ workload_arg $ tile_arg $ small_arg $ flow_arg $ jobs_arg
       $ json_flag $ stats_arg $ trace_arg)
 
+let verify_cmd =
+  let doc =
+    "Independently verify schedule legality: a static checker re-derives the \
+     instance order from the final schedule tree alone and proves every \
+     dependence arc covered, then a dynamic shadow run tags each cell with \
+     its writer instances and checks def-before-use, recompute idempotence \
+     and live-out coverage against the naive reference. Exits 2 on any \
+     violation, dumping the offending dependence and schedule path."
+  in
+  let flow_opt =
+    Arg.(
+      value
+      & opt (some flow_conv) None
+      & info [ "f"; "flow" ] ~docv:"FLOW"
+          ~doc:
+            "Verify a single flow (naive | minfuse | smartfuse | maxfuse | \
+             hybridfuse | ours | polymage | halide); default: all of them.")
+  in
+  let static_only =
+    Arg.(
+      value & flag
+      & info [ "static-only" ]
+          ~doc:"Skip the dynamic shadow run (no interpretation).")
+  in
+  let run workload tile small flow static_only stats trace =
+    let finish = obs_begin ~stats ~trace () in
+    let prog = prog_of workload small in
+    let flows =
+      match flow with
+      | Some f -> [ f ]
+      | None ->
+          [ F_naive; F_heuristic Fusion.Minfuse; F_heuristic Fusion.Smartfuse;
+            F_heuristic Fusion.Maxfuse; F_heuristic Fusion.Hybridfuse; F_ours;
+            F_polymage; F_halide
+          ]
+    in
+    let reference = lazy (Exp_util.naive prog) in
+    let failed = ref false in
+    List.iter
+      (fun f ->
+        let v = version_of f ~tile prog in
+        let tree = Exp_util.tree_of prog v in
+        let rep = Obs.span "verify.static" (fun () -> Legality.check prog tree) in
+        Printf.printf
+          "flow %-10s static   %d occurrences, %d deps checked, %d inexact: %s\n"
+          v.Exp_util.ver_name rep.Legality.rep_occurrences
+          rep.Legality.rep_deps_checked rep.Legality.rep_inexact
+          (if rep.Legality.rep_violations = [] then "ok" else "VIOLATIONS");
+        List.iter
+          (fun viol ->
+            failed := true;
+            Printf.printf "  %s\n" (Legality.violation_string viol))
+          rep.Legality.rep_violations;
+        if not static_only then begin
+          let sh =
+            Obs.span "verify.shadow" (fun () ->
+                Shadow.validate prog ~ref_ast:(Lazy.force reference).Exp_util.ast
+                  ~ast:v.Exp_util.ast)
+          in
+          Printf.printf
+            "flow %-10s shadow   %d reads, %d writes, %d recomputed: %s\n"
+            v.Exp_util.ver_name sh.Shadow.sh_reads sh.Shadow.sh_writes
+            sh.Shadow.sh_recomputed
+            (if sh.Shadow.sh_violations = [] then "ok" else "VIOLATIONS");
+          List.iter
+            (fun viol ->
+              failed := true;
+              Printf.printf "  %s\n" (Shadow.violation_string viol))
+            sh.Shadow.sh_violations
+        end)
+      flows;
+    finish ();
+    if !failed then Stdlib.exit 2
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ workload_arg $ tile_arg $ small_arg $ flow_opt $ static_only
+      $ stats_arg $ trace_arg)
+
 let serve_cmd =
   let doc =
     "Run the long-lived compile daemon: POST /compile, GET /metrics \
@@ -387,4 +466,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd; serve_cmd ]))
+          [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd;
+            verify_cmd; serve_cmd ]))

@@ -102,6 +102,18 @@ let halide_version ?(tile = 32) ?tile_sizes ~target (p : Prog.t) =
   in
   { ver_name = "halide"; uid = next_uid (); ast; flavor = Ours c; compile_s; budget_exceeded = false }
 
+(* The schedule tree a version's AST was generated from. The naive
+   constructor discards its tree, so it is recomputed here — the naive
+   flow is deterministic and cheap (no tiling search). *)
+let tree_of (p : Prog.t) v =
+  match v.flavor with
+  | Naive ->
+      let deps = Deps.compute p in
+      let r = Fusion.schedule p ~deps ~target_parallelism:1 Fusion.Minfuse in
+      Build_tree.initial_tree p r
+  | Baseline (b, _) -> b.Core.Pipeline.b_tree
+  | Ours c -> c.Core.Pipeline.tree
+
 let check_against (p : Prog.t) v1 v2 =
   let m1 = Cpu_model.run_to_memory p v1.ast in
   let m2 = Cpu_model.run_to_memory p v2.ast in

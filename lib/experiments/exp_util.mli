@@ -38,6 +38,10 @@ val halide_version :
   Prog.t -> version
 (** The per-benchmark manual schedule from {!Competitors}. *)
 
+val tree_of : Prog.t -> version -> Schedule_tree.t
+(** The schedule tree the version's AST was generated from (recomputed
+    for the naive flow, whose constructor discards it). *)
+
 val check_against : Prog.t -> version -> version -> bool
 (** Semantic equivalence of live-out arrays (interpreter oracle). *)
 

@@ -60,6 +60,15 @@ type stats = {
   per_kernel_ops : (int, int) Hashtbl.t;
 }
 
+type tracer =
+  stmt:string ->
+  inst:int array ->
+  array:string ->
+  cell:int ->
+  write:bool ->
+  value:float ->
+  unit
+
 let flat_index (s : array_store) ~array idxs =
   let nd = Array.length s.extents in
   if List.length idxs <> nd then
@@ -91,7 +100,7 @@ let array_spans mem =
    self-contained: workers of the parallel runtime create one per
    domain and execute tile subtrees against the shared memory without
    touching any global (notably not Obs, which is not thread-safe). *)
-let executor ?observer (p : Prog.t) mem =
+let executor ?observer ?tracer (p : Prog.t) mem =
   let stats =
     { instances = 0;
       ops = 0;
@@ -108,6 +117,11 @@ let executor ?observer (p : Prog.t) mem =
   let notify ~stmt ~addr ~write =
     match observer with
     | Some f -> f ~kernel:!kernel ~stmt ~addr ~write
+    | None -> ()
+  in
+  let trace ~stmt ~inst ~array ~cell ~write ~value =
+    match tracer with
+    | Some f -> f ~stmt ~inst ~array ~cell ~write ~value
     | None -> ()
   in
   let exec_call name args =
@@ -130,7 +144,10 @@ let executor ?observer (p : Prog.t) mem =
         let flat = flat_index s ~array:a.Prog.array idxs in
         stats.reads <- stats.reads + 1;
         notify ~stmt:name ~addr:(s.base + (flat * elem_bytes)) ~write:false;
-        s.data.(flat)
+        let v = s.data.(flat) in
+        trace ~stmt:name ~inst ~array:a.Prog.array ~cell:flat ~write:false
+          ~value:v;
+        v
       in
       let values = Array.of_list (List.map read_value stmt.Prog.reads) in
       let result = stmt.Prog.compute values in
@@ -141,8 +158,10 @@ let executor ?observer (p : Prog.t) mem =
       in
       let wflat = flat_index ws ~array:wa.Prog.array widxs in
       stats.writes <- stats.writes + 1;
-      notify ~stmt:name ~addr:(ws.base + (wflat * elem_bytes)) ~write:true;
       ws.data.(wflat) <- result;
+      notify ~stmt:name ~addr:(ws.base + (wflat * elem_bytes)) ~write:true;
+      trace ~stmt:name ~inst ~array:wa.Prog.array ~cell:wflat ~write:true
+        ~value:result;
       stats.ops <- stats.ops + stmt.Prog.ops;
       Hashtbl.replace stats.per_kernel_ops !kernel
         (stmt.Prog.ops
@@ -177,9 +196,9 @@ let executor ?observer (p : Prog.t) mem =
   in
   (stats, go)
 
-let run ?observer (p : Prog.t) ast mem =
+let run ?observer ?tracer (p : Prog.t) ast mem =
   Obs.span "interp.run" @@ fun () ->
-  let stats, exec = executor ?observer p mem in
+  let stats, exec = executor ?observer ?tracer p mem in
   exec ~env:[] ast;
   Obs.add "interp.instances" stats.instances;
   Obs.add "interp.reads" stats.reads;
@@ -187,7 +206,8 @@ let run ?observer (p : Prog.t) ast mem =
   Obs.add "interp.ops" stats.ops;
   stats
 
-let tile_runner ?observer (p : Prog.t) mem = executor ?observer p mem
+let tile_runner ?observer ?tracer (p : Prog.t) mem =
+  executor ?observer ?tracer p mem
 
 let arrays_equal ?(eps = 1e-6) m1 m2 name =
   let a = read_array m1 name and b = read_array m2 name in

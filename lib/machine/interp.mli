@@ -30,8 +30,23 @@ type stats = {
   per_kernel_ops : (int, int) Hashtbl.t;
 }
 
+type tracer =
+  stmt:string ->
+  inst:int array ->
+  array:string ->
+  cell:int ->
+  write:bool ->
+  value:float ->
+  unit
+(** Semantic access hook: statement instance, array name, element-flat
+    cell index and the value read or written (writes fire after the
+    store). Unlike [observer] it identifies the *instance*, so the
+    shadow validator can tag cells with their last writer. The [inst]
+    array is fresh per call and safe to retain. *)
+
 val run :
   ?observer:(kernel:int -> stmt:string -> addr:int -> write:bool -> unit) ->
+  ?tracer:tracer ->
   Prog.t -> Ast.t -> memory -> stats
 (** Raises [Invalid_argument] on out-of-bounds accesses, naming the
     array and index. Kernel id -1 denotes code outside any kernel
@@ -49,6 +64,7 @@ val array_spans : memory -> (string * int * int) list
 
 val tile_runner :
   ?observer:(kernel:int -> stmt:string -> addr:int -> write:bool -> unit) ->
+  ?tracer:tracer ->
   Prog.t ->
   memory ->
   stats * (?kernel:int -> env:(string * int) list -> Ast.t -> unit)

@@ -1,0 +1,46 @@
+(** Dynamic shadow validator.
+
+    Interprets a reference (naive) AST and a candidate AST over
+    identically-initialized memories, tagging every cell with the
+    statement instances that wrote it, and reports semantic-order
+    violations observed during the candidate run:
+
+    - def-before-use: the candidate reads a cell it has not yet
+      written although the reference defines that cell before any
+      read of it;
+    - single-assignment per instance: a re-executed instance
+      (recomputation under overlapped tiles) must store the same value
+      every time;
+    - foreign writers: a cell may only be written by instances that
+      also wrote it in the reference order;
+    - live-out coverage: every live-out cell the reference writes must
+      be written by the candidate with the same final writer instance
+      (the structural form of the seed-1057 mis-schedule, caught even
+      when the values coincidentally agree), and live-out values must
+      match. *)
+
+type violation = {
+  sv_kind : string;
+      (** "read-before-write" | "recompute-divergence" |
+          "foreign-writer" | "liveout-missing" | "liveout-writer" |
+          "liveout-values" *)
+  sv_stmt : string;
+  sv_inst : int array;
+  sv_array : string;
+  sv_cell : int;  (** element-flat index within the array *)
+  sv_detail : string;
+}
+
+type report = {
+  sh_violations : violation list;
+  sh_reads : int;  (** candidate reads checked *)
+  sh_writes : int;  (** candidate writes checked *)
+  sh_recomputed : int;  (** instance re-executions observed *)
+}
+
+val validate : Prog.t -> ref_ast:Ast.t -> ast:Ast.t -> report
+(** Run both ASTs (inputs filled with {!Cpu_model.deterministic_fill})
+    and compare. An empty [sh_violations] means the candidate is
+    shadow-clean against the reference. *)
+
+val violation_string : violation -> string

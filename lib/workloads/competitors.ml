@@ -37,8 +37,38 @@ let dilate_piece (p : Prog.t) delta piece =
   let stmt = Prog.find_stmt p sp.Space.out_tuple in
   Bmap.intersect_range dilated stmt.Prog.domain
 
-let dilate_extension (p : Prog.t) (e : Core.Tile_shapes.extension) =
-  let delta = max 1 (List.length e.Core.Tile_shapes.parents) in
+(* Per-extension dilation deltas. A dilated consumer region reads
+   [delta_c] beyond its exact needs, and the producer's exact piece
+   covers exactly those needs — so soundness requires
+   [delta_producer >= delta_consumer] along every derivation chain.
+   [parents] lists the downstream spaces an extension was derived
+   through, so the longest-path depth over that DAG (consumer-first,
+   live-out depth 0) yields strictly growing deltas towards the
+   producers, mirroring PolyMage's overlap growth with stage depth.
+   The old [length parents] proxy violated the ordering on diamond
+   DAGs (camera_pipeline: the g_at_b producer got a smaller delta than
+   its g_avg consumer), leaving fringe instances reading cells no tile
+   had written yet — caught by [Legality.check]/[Shadow.validate]. *)
+let dilation_deltas (extensions : Core.Tile_shapes.extension list) =
+  let depth = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Core.Tile_shapes.extension) ->
+      let d =
+        1
+        + List.fold_left
+            (fun acc q ->
+              max acc
+                (if q = -1 then 0
+                 else Option.value ~default:0 (Hashtbl.find_opt depth q)))
+            0 e.Core.Tile_shapes.parents
+      in
+      Hashtbl.replace depth e.Core.Tile_shapes.space_id d)
+    (List.rev extensions);
+  (* extensions are producer-first; reversed = consumer-first *)
+  fun (e : Core.Tile_shapes.extension) ->
+    Option.value ~default:1 (Hashtbl.find_opt depth e.Core.Tile_shapes.space_id)
+
+let dilate_extension (p : Prog.t) ~delta (e : Core.Tile_shapes.extension) =
   { e with
     Core.Tile_shapes.ext_rel =
       Imap.of_bmaps
@@ -52,11 +82,14 @@ let polymage (c : Core.Pipeline.compiled) =
     List.map
       (fun (r : Core.Post_tiling.root) ->
         let t = r.Core.Post_tiling.tiling in
+        let delta_of = dilation_deltas t.Core.Tile_shapes.extensions in
         { r with
           Core.Post_tiling.tiling =
             { t with
               Core.Tile_shapes.extensions =
-                List.map (dilate_extension p) t.Core.Tile_shapes.extensions
+                List.map
+                  (fun e -> dilate_extension p ~delta:(delta_of e) e)
+                  t.Core.Tile_shapes.extensions
             }
         })
       plan.Core.Post_tiling.roots

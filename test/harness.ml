@@ -44,3 +44,32 @@ let seed_from_argv ?(default = 0) () =
   in
   let seed, argv = strip [] env_seed args in
   (seed, Array.of_list argv)
+
+(* `--shrink` (or FUZZ_SHRINK=1) turns on spec minimization after a
+   fuzz mismatch: the failing seed's spec is greedily reduced with
+   lib/verify's Shrink before the repro artifact is written. The flag
+   is stripped before Alcotest parses argv; pass the argv returned by
+   [seed_from_argv] so both flags compose. *)
+let shrink_from_argv ?(argv = Sys.argv) () =
+  let env =
+    match Sys.getenv_opt "FUZZ_SHRINK" with
+    | Some ("" | "0" | "false" | "no") | None -> false
+    | Some _ -> true
+  in
+  let rec strip acc on = function
+    | [] -> (on, List.rev acc)
+    | "--shrink" :: rest -> strip acc true rest
+    | a :: rest -> strip (a :: acc) on rest
+  in
+  let on, args = strip [] env (Array.to_list argv) in
+  (on, Array.of_list args)
+
+(* One-line run banner shared by the randomized binaries, so a CI log
+   shows the seed offset and shrink mode without digging into argv. *)
+let fuzz_banner name ~seed ~shrink =
+  if seed <> 0 || shrink then
+    Printf.printf "%s: seed offset %d%s (reproduce with --seed %d%s)\n%!" name
+      seed
+      (if shrink then ", shrinking enabled" else "")
+      seed
+      (if shrink then " --shrink" else "")
