@@ -230,6 +230,7 @@ let snapshot_cmd args =
   let workloads = ref None in
   let small = ref false in
   let label = ref None in
+  let seed = ref None in
   let rec parse = function
     | [] -> ()
     | "--out" :: f :: rest ->
@@ -243,7 +244,7 @@ let snapshot_cmd args =
         parse rest
     | "--seed" :: n :: rest ->
         (match int_of_string_opt n with
-        | Some s -> Random_pipeline.set_registry_seed s
+        | Some s -> seed := Some s
         | None -> usage_error (Printf.sprintf "--seed expects an integer, got %S" n));
         parse rest
     | "--label" :: l :: rest ->
@@ -252,6 +253,13 @@ let snapshot_cmd args =
     | a :: _ -> usage_error (Printf.sprintf "snapshot: unknown argument %s" a)
   in
   parse args;
+  (* flag > FUZZ_SEED, shared precedence with the fuzz harness; the
+     registry seed only moves when one of them is given *)
+  (match !seed with
+  | Some s -> Random_pipeline.set_registry_seed s
+  | None ->
+      if Sys.getenv_opt "FUZZ_SEED" <> None then
+        Random_pipeline.set_registry_seed (Cli_util.seed_env_default ()));
   let out =
     match !out with
     | Some f -> f
@@ -460,7 +468,7 @@ let trimmed_mean xs =
 let parallel_cmd args =
   let small = ref false in
   let workloads = ref None in
-  let jobs = ref 4 in
+  let jobs_flag = ref None in
   let tile = ref 8 in
   let repeat = ref 5 in
   let warmup = ref 1 in
@@ -480,7 +488,7 @@ let parallel_cmd args =
         workloads := Some (String.split_on_char ',' ws);
         parse rest
     | "--jobs" :: n :: rest ->
-        jobs := int_arg "--jobs" n;
+        jobs_flag := Some (int_arg "--jobs" n);
         parse rest
     | "--tile" :: n :: rest ->
         tile := int_arg "--tile" n;
@@ -500,6 +508,8 @@ let parallel_cmd args =
     | a :: _ -> usage_error (Printf.sprintf "parallel: unknown argument %s" a)
   in
   parse args;
+  (* flag > MEMCOMP_JOBS > the sweep's historical default of 4 *)
+  let jobs = ref (Cli_util.resolve_jobs ~default:4 !jobs_flag) in
   let entries =
     match !workloads with
     | Some names -> List.map Registry.find names
@@ -595,6 +605,113 @@ let parallel_cmd args =
       Bench_db.save file (Bench_db.make ~label snaps);
       Printf.printf "wrote %d parallel snapshots to %s\n" (List.length snaps)
         file
+
+(* ------------------------------------------------------------------ *)
+(* tune: autotuner sweep across workloads                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the model-guided autotuner over a set of registry workloads and
+   print one row per workload: search-space size, evaluation counts,
+   modeled default vs tuned cost and the chosen configuration. Shares
+   the knob precedence of `memcomp tune` (--jobs/MEMCOMP_JOBS,
+   --seed/FUZZ_SEED) and the same tuning database format. *)
+let tune_cmd args =
+  let small = ref false in
+  let workloads = ref None in
+  let strategy = ref Tuner.Greedy in
+  let budget = ref 48 in
+  let jobs_flag = ref None in
+  let seed_flag = ref None in
+  let db = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ -> usage_error (Printf.sprintf "%s expects a positive integer, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--small" :: rest ->
+        small := true;
+        parse rest
+    | "--workloads" :: ws :: rest ->
+        workloads := Some (String.split_on_char ',' ws);
+        parse rest
+    | "--strategy" :: s :: rest ->
+        (match Tuner.strategy_of_string s with
+        | Some st -> strategy := st
+        | None -> usage_error (Printf.sprintf "unknown strategy %s" s));
+        parse rest
+    | "--budget" :: n :: rest ->
+        budget := int_arg "--budget" n;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs_flag := Some (int_arg "--jobs" n);
+        parse rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> seed_flag := Some s
+        | None -> usage_error (Printf.sprintf "--seed expects an integer, got %S" n));
+        parse rest
+    | "--db" :: f :: rest ->
+        db := Some f;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "tune: unknown argument %s" a)
+  in
+  parse args;
+  let jobs = Cli_util.resolve_jobs !jobs_flag in
+  let seed =
+    match !seed_flag with Some s -> s | None -> Cli_util.seed_env_default ()
+  in
+  let entries =
+    match !workloads with
+    | Some names -> List.map Registry.find names
+    | None -> Registry.all
+  in
+  Exp_util.section
+    (Printf.sprintf "Autotuner sweep: %s strategy, budget %d, %d jobs, seed %d"
+       (Tuner.strategy_name !strategy) !budget jobs seed);
+  let header =
+    [ "workload"; "space"; "eval"; "illegal"; "default cost"; "tuned cost";
+      "delta"; "best config"
+    ]
+  in
+  let failures = ref [] in
+  let rows =
+    List.map
+      (fun (e : Registry.entry) ->
+        let p = if !small then e.Registry.small () else e.Registry.build () in
+        match
+          Tuner.tune ~strategy:!strategy ~budget:!budget ~jobs ~seed
+            ?db_path:!db p
+        with
+        | Error msg ->
+            failures := (e.Registry.reg_name, msg) :: !failures;
+            [ e.Registry.reg_name; "-"; "-"; "-"; "-"; "-"; "-"; "error" ]
+        | Ok r ->
+            let en = r.Tuner.r_entry in
+            let dc = Evaluator.cost en.Tune_db.en_default_score in
+            let bc = Evaluator.cost en.Tune_db.en_best_score in
+            [ e.Registry.reg_name;
+              string_of_int r.Tuner.r_space;
+              (string_of_int en.Tune_db.en_evaluated
+              ^ if r.Tuner.r_cached then " (db)" else "");
+              string_of_int en.Tune_db.en_illegal;
+              Printf.sprintf "%.0f" dc;
+              Printf.sprintf "%.0f" bc;
+              Printf.sprintf "%+.1f%%"
+                (if dc = 0.0 then 0.0 else (bc -. dc) /. dc *. 100.0);
+              Search_space.candidate_name en.Tune_db.en_best
+            ])
+      entries
+  in
+  Exp_util.print_table ~header rows;
+  print_endline
+    "  (cost = modeled DRAM + staged bytes; tuned <= default by construction,\n\
+    \   and the tuned config never models more DRAM traffic than the default)";
+  List.iter
+    (fun (w, msg) -> Printf.eprintf "tune: %s failed: %s\n%!" w msg)
+    (List.rev !failures);
+  if !failures <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* serve: load generator + end-to-end checker for the compile daemon   *)
@@ -836,6 +953,7 @@ let () =
   | "regress" :: rest -> regress_cmd rest
   | "report" :: rest -> report_cmd rest
   | "parallel" :: rest -> parallel_cmd rest
+  | "tune" :: rest -> tune_cmd rest
   | "serve" :: rest -> serve_cmd rest
   | names ->
       List.iter

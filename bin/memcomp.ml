@@ -118,13 +118,7 @@ let jobs_arg =
           "Worker domains for the parallel runtime (fallback: the \
            MEMCOMP_JOBS environment variable; default 1).")
 
-let resolve_jobs jobs =
-  match jobs with
-  | Some n -> max 1 n
-  | None -> (
-      match Sys.getenv_opt "MEMCOMP_JOBS" with
-      | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> 1)
-      | None -> 1)
+let resolve_jobs = Cli_util.resolve_jobs
 
 let exit_race = 3
 (* distinct exit code when the tile race checker fires *)
@@ -422,6 +416,103 @@ let verify_cmd =
       const run $ workload_arg $ tile_arg $ small_arg $ flow_opt $ static_only
       $ stats_arg $ trace_arg)
 
+let tune_cmd =
+  let doc =
+    "Model-guided autotuning: search the joint space of tile shapes, fusion \
+     heuristic and post-tiling knobs, scoring candidates with the analytic \
+     machine model (DRAM traffic + staged bytes + tile-level parallelism). \
+     Every candidate is checked by the independent legality verifier \
+     (illegal configurations are hard-rejected and counted), and results \
+     are cached in a content-addressed tuning database so repeat tunes of \
+     an unchanged workload answer instantly."
+  in
+  let workload_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see list).")
+  in
+  let strategy_conv =
+    let parse s =
+      match Tuner.strategy_of_string s with
+      | Some st -> Ok st
+      | None -> Error (`Msg (Printf.sprintf "unknown strategy %s" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (Tuner.strategy_name s) in
+    Arg.conv (parse, print)
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Tuner.Greedy
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:"exhaustive | greedy | random (all deterministic under --seed).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum candidate evaluations (compile + verify + score).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed for the random strategy (fallback: the FUZZ_SEED \
+             environment variable; default 0).")
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"PATH"
+          ~doc:
+            "Tuning database file (fallback: the MEMCOMP_TUNE_DB environment \
+             variable; no default — without it nothing is persisted).")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Re-tune even when the database already has an entry.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the tuning report as JSON instead of markdown.")
+  in
+  let run workload small strategy budget jobs seed db force json stats trace =
+    let finish = obs_begin ~json ~stats ~trace () in
+    let prog = prog_of workload small in
+    let jobs = resolve_jobs jobs in
+    let seed =
+      match seed with Some s -> s | None -> Cli_util.seed_env_default ()
+    in
+    let db_path =
+      match db with Some _ -> db | None -> Sys.getenv_opt "MEMCOMP_TUNE_DB"
+    in
+    match
+      Tuner.tune ~strategy ~budget ~jobs ~seed ?db_path ~force prog
+    with
+    | Error msg ->
+        Printf.eprintf "memcomp tune: %s\n%!" msg;
+        finish ();
+        Stdlib.exit 2
+    | Ok r ->
+        if json then
+          print_endline (Json_util.Json.to_string (Tuner.report_json r))
+        else print_string (Tuner.report_markdown r);
+        finish ()
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ workload_pos $ small_arg $ strategy_arg $ budget_arg
+      $ jobs_arg $ seed_arg $ db_arg $ force_arg $ json_flag $ stats_arg
+      $ trace_arg)
+
 let serve_cmd =
   let doc =
     "Run the long-lived compile daemon: POST /compile, GET /metrics \
@@ -444,18 +535,31 @@ let serve_cmd =
              the MEMCOMP_LOG environment variable; default warn). Logs are \
              JSONL on stderr; compile requests carry a correlating req id.")
   in
-  let run port jobs log_level =
-    (match log_level with
-    | None -> ()
-    | Some s -> (
-        match Log.level_of_string s with
-        | Ok l -> Log.set_level l
-        | Error msg ->
-            Printf.eprintf "memcomp serve: %s\n%!" msg;
-            Stdlib.exit 2));
-    Server.run ~port ~workers:(resolve_jobs jobs) ()
+  let tune_db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tune-db" ] ~docv:"PATH"
+          ~doc:
+            "Tuning database backing the \"tuned\" compile flow and \
+             GET /tuned/<workload> (fallback: the MEMCOMP_TUNE_DB \
+             environment variable).")
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ port_arg $ jobs_arg $ log_level_arg)
+  let run port jobs log_level tune_db =
+    (match Cli_util.set_log_level log_level with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "memcomp serve: %s\n%!" msg;
+        Stdlib.exit 2);
+    let tune_db =
+      match tune_db with
+      | Some _ -> tune_db
+      | None -> Sys.getenv_opt "MEMCOMP_TUNE_DB"
+    in
+    Server.run ~port ~workers:(resolve_jobs jobs) ?tune_db ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ port_arg $ jobs_arg $ log_level_arg $ tune_db_arg)
 
 let () =
   let doc =
@@ -467,4 +571,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; run_cmd; compare_cmd; explain_cmd;
-            verify_cmd; serve_cmd ]))
+            verify_cmd; tune_cmd; serve_cmd ]))

@@ -15,7 +15,12 @@
      refreshing the committed baseline.
    - A workload x flow present in the base but missing from the
      candidate (e.g. a flow that now crashes) regresses; a pair only in
-     the candidate is reported as added but does not gate. *)
+     the candidate is reported as added but does not gate.
+   - The same direction rule holds metric by metric: a time or counter
+     metric present in the base but absent from the candidate is
+     reported as removed AND fails the gate (silently lost coverage),
+     while a metric only in the candidate is added and never gates.
+     Noisy metrics (the optional speedup field) may come and go. *)
 
 type t = { label : string; created : string; snapshots : Snapshot.t list }
 
@@ -269,7 +274,20 @@ let diff ?(thresholds = default_thresholds) ~base ~cand () =
   in
   matched @ added
 
-let regressions deltas = List.filter (fun d -> d.d_class = Regressed) deltas
+(* A delta gates when it is a plain regression, or when a gating-kind
+   metric silently vanished from the candidate: a counter or time
+   metric present in the base but absent in the candidate means lost
+   coverage (an instrumented path no longer runs, a span renamed), and
+   letting it "pass" would hide exactly the drift the gate exists to
+   catch. Direction matters: [Removed] gates, [Added] never does, and a
+   [Noisy] metric (e.g. the optional speedup field) may come and go. *)
+let gates d =
+  match d.d_class with
+  | Regressed -> true
+  | Removed -> d.d_kind <> Noisy
+  | Improved | Unchanged | Added -> false
+
+let regressions deltas = List.filter gates deltas
 
 let gate deltas = if regressions deltas = [] then 0 else 1
 

@@ -18,7 +18,12 @@
       recorded in snapshots for inspection but never gate;
     - a workload x flow pair present in the base but missing from the
       candidate is a regression; a pair only in the candidate is
-      reported as added but does not gate. *)
+      reported as added but does not gate;
+    - missing-metric direction is explicit: a time/counter metric
+      present in the base but absent from the candidate is classified
+      {!Removed} and fails the gate (lost coverage), a metric only in
+      the candidate is {!Added} and never gates, and {!Noisy} metrics
+      may come and go freely. *)
 
 type t = { label : string; created : string; snapshots : Snapshot.t list }
 
@@ -66,10 +71,12 @@ val classify_counter : base:int -> cand:int -> classification
 val diff : ?thresholds:thresholds -> base:t -> cand:t -> unit -> delta list
 
 val regressions : delta list -> delta list
+(** The gating deltas: everything classified {!Regressed}, plus
+    non-{!Noisy} metrics classified {!Removed}. *)
 
 val gate : delta list -> int
-(** [0] when no delta is classified {!Regressed}, [1] otherwise — the
-    exit-code contract of [bench/main.exe regress]. *)
+(** [0] when {!regressions} is empty, [1] otherwise — the exit-code
+    contract of [bench/main.exe regress]. *)
 
 (** {1 Rendering} *)
 

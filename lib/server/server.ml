@@ -2,10 +2,12 @@
 
    Endpoints:
      POST /compile         workload+flow+tile JSON -> generated code JSON
+                           (flow "tuned" applies the tuning database)
      GET  /metrics         OpenMetrics exposition of the Obs registries
      GET  /healthz         liveness probe
      GET  /buildinfo       version / toolchain / workload inventory
      GET  /trace/<req-id>  archived per-request Chrome trace
+     GET  /tuned/<name>    stored tuning-database entries for a workload
 
    Instrumentation contract (the bench load generator relies on it):
    the per-endpoint request counters (http.requests, http.<endpoint>)
@@ -25,6 +27,7 @@ type state = {
   started : float;
   inflight : int Atomic.t;
   req_counter : int Atomic.t;
+  tune_db : Tune_db.t;  (* loaded once at startup; content-addressed *)
 }
 
 type t = { st : state; httpd : Httpd.t }
@@ -41,6 +44,7 @@ type flow =
   | Flow_ours
   | Flow_polymage
   | Flow_halide
+  | Flow_tuned  (* apply the best stored configuration for the program *)
 
 let flow_of_string = function
   | "naive" -> Some Flow_naive
@@ -51,15 +55,44 @@ let flow_of_string = function
   | "ours" -> Some Flow_ours
   | "polymage" -> Some Flow_polymage
   | "halide" -> Some Flow_halide
+  | "tuned" -> Some Flow_tuned
   | _ -> None
 
-let version_of flow ~tile prog =
+(* flow "tuned" with no stored entry for the program: a client error
+   (404), not a compiler failure *)
+exception Tuned_miss of string
+
+(* Returns the compiled version and, for the tuned flow, the applied
+   configuration. Lookup is content-addressed, exactly as `memcomp
+   tune --db` stores it, so a stale database entry (program or space
+   changed since tuning) misses instead of misapplying. *)
+let version_of st flow ~tile prog =
   match flow with
-  | Flow_naive -> Exp_util.naive prog
-  | Flow_heuristic h -> Exp_util.heuristic ~tile ~target:Core.Pipeline.Cpu h prog
-  | Flow_ours -> Exp_util.ours ~tile ~target:Core.Pipeline.Cpu prog
-  | Flow_polymage -> Exp_util.polymage_version ~tile ~target:Core.Pipeline.Cpu prog
-  | Flow_halide -> Exp_util.halide_version ~tile ~target:Core.Pipeline.Cpu prog
+  | Flow_naive -> (Exp_util.naive prog, None)
+  | Flow_heuristic h ->
+      (Exp_util.heuristic ~tile ~target:Core.Pipeline.Cpu h prog, None)
+  | Flow_ours -> (Exp_util.ours ~tile ~target:Core.Pipeline.Cpu prog, None)
+  | Flow_polymage ->
+      (Exp_util.polymage_version ~tile ~target:Core.Pipeline.Cpu prog, None)
+  | Flow_halide ->
+      (Exp_util.halide_version ~tile ~target:Core.Pipeline.Cpu prog, None)
+  | Flow_tuned -> (
+      let sp = Search_space.make prog in
+      let key = Tune_db.key ~target:"cpu" prog sp in
+      match Tune_db.find st.tune_db key with
+      | Some e ->
+          Obs.count "tuner.serve_hits";
+          ( Evaluator.version_of ~target:Core.Pipeline.Cpu prog
+              e.Tune_db.en_best,
+            Some e.Tune_db.en_best )
+      | None ->
+          Obs.count "tuner.serve_misses";
+          raise
+            (Tuned_miss
+               (Printf.sprintf
+                  "no tuned configuration for workload %S (key %s); run \
+                   `memcomp tune %s --db <db>` and restart with --tune-db"
+                  prog.Prog.prog_name key prog.Prog.prog_name)))
 
 (* ------------------------------------------------------------------ *)
 (* Process gauges                                                      *)
@@ -144,6 +177,25 @@ let handle_trace path =
   | Some trace -> Httpd.response ~content_type:"application/json" trace
   | None -> error_response 404 (Printf.sprintf "no archived trace for request %S" id)
 
+(* All stored tuning entries for a workload name. A workload can have
+   several (small vs full instance, different spaces), each under its
+   own content-addressed key. *)
+let handle_tuned st path =
+  let name = String.sub path 7 (String.length path - 7) in
+  match
+    List.filter
+      (fun (e : Tune_db.entry) -> e.Tune_db.en_workload = name)
+      (Tune_db.entries st.tune_db)
+  with
+  | [] ->
+      error_response 404
+        (Printf.sprintf "no tuned configuration for workload %S" name)
+  | entries ->
+      json_response
+        [ ("workload", Json.Str name);
+          ("entries", Json.Arr (List.map Tune_db.entry_to_json entries))
+        ]
+
 let member_string key default body =
   match Json.member key body with
   | Some (Json.Str s) -> Ok s
@@ -196,10 +248,10 @@ let handle_compile st (r : Httpd.request) =
           match
             Obs.span "http.compile" (fun () ->
                 let prog = if small then entry.Registry.small () else entry.Registry.build () in
-                let v = version_of flow ~tile prog in
+                let v = version_of st flow ~tile prog in
                 (prog, v))
           with
-          | _prog, v ->
+          | _prog, (v, tuned) ->
               Obs.count "pipeline.compile_requests";
               Trace_store.add id (Events.chrome_trace ~req:id ());
               Log.info ~cat:"server" "compile.end"
@@ -207,16 +259,26 @@ let handle_compile st (r : Httpd.request) =
                   ("compile_s", F v.Exp_util.compile_s)
                 ];
               json_response
-                [ ("req", Json.Str id);
-                  ("workload", Json.Str workload);
-                  ("flow", Json.Str v.Exp_util.ver_name);
-                  ("tile", Json.Num (float_of_int tile));
-                  ("small", Json.Bool small);
-                  ("compile_s", Json.Num v.Exp_util.compile_s);
-                  ("budget_exceeded", Json.Bool v.Exp_util.budget_exceeded);
-                  ("trace", Json.Str ("/trace/" ^ id));
-                  ("code", Json.Str (Ast.to_string v.Exp_util.ast))
-                ]
+                ([ ("req", Json.Str id);
+                   ("workload", Json.Str workload);
+                   ("flow", Json.Str v.Exp_util.ver_name);
+                   ("tile", Json.Num (float_of_int tile));
+                   ("small", Json.Bool small);
+                   ("compile_s", Json.Num v.Exp_util.compile_s);
+                   ("budget_exceeded", Json.Bool v.Exp_util.budget_exceeded);
+                   ("trace", Json.Str ("/trace/" ^ id));
+                   ("code", Json.Str (Ast.to_string v.Exp_util.ast))
+                 ]
+                @
+                match tuned with
+                | Some c ->
+                    [ ("tuned", Search_space.candidate_to_json c) ]
+                | None -> [])
+          | exception Tuned_miss msg ->
+              Trace_store.add id (Events.chrome_trace ~req:id ());
+              Log.info ~cat:"server" "compile.tuned_miss"
+                [ ("workload", S workload) ];
+              error_response 404 msg
           | exception e ->
               Trace_store.add id (Events.chrome_trace ~req:id ());
               Log.error ~cat:"server" "compile.fail"
@@ -237,6 +299,7 @@ let endpoint_of (r : Httpd.request) =
   | "GET", "/healthz" -> "healthz"
   | "GET", "/buildinfo" -> "buildinfo"
   | "GET", p when has_prefix "/trace/" p -> "trace"
+  | "GET", p when has_prefix "/tuned/" p -> "tuned"
   | _ -> "other"
 
 let handler st (r : Httpd.request) =
@@ -254,6 +317,7 @@ let handler st (r : Httpd.request) =
     | "healthz" -> handle_healthz ()
     | "buildinfo" -> handle_buildinfo ()
     | "trace" -> handle_trace r.path
+    | "tuned" -> handle_tuned st r.path
     | _ ->
         if r.meth <> "GET" && r.meth <> "POST" then
           error_response 405 (Printf.sprintf "method %s not allowed" r.meth)
@@ -271,26 +335,42 @@ let handler st (r : Httpd.request) =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(port = 8080) ?(workers = 4) () =
+let create ?(port = 8080) ?(workers = 4) ?tune_db () =
   (* the daemon's whole point is live telemetry: recording is on *)
   Obs.reset ();
   Obs.enable ();
+  let tune_db =
+    match tune_db with
+    | None -> Tune_db.empty
+    | Some path -> (
+        match Tune_db.load path with
+        | Ok db ->
+            Log.info ~cat:"server" "tune_db.loaded"
+              [ ("path", S path); ("entries", I (List.length (Tune_db.entries db))) ];
+            db
+        | Error msg ->
+            (* a bad database must not take the daemon down *)
+            Log.warn ~cat:"server" "tune_db.unreadable"
+              [ ("path", S path); ("error", S msg) ];
+            Tune_db.empty)
+  in
   let st =
     { started = Unix.gettimeofday ();
       inflight = Atomic.make 0;
-      req_counter = Atomic.make 0
+      req_counter = Atomic.make 0;
+      tune_db
     }
   in
   { st; httpd = Httpd.start ~workers ~port (fun r -> handler st r) }
 
 let stop t = Httpd.stop t.httpd
 
-let run ?(port = 8080) ?(workers = 4) () =
+let run ?(port = 8080) ?(workers = 4) ?tune_db () =
   let stop_requested = Atomic.make false in
   let on_signal _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  let t = create ~port ~workers () in
+  let t = create ~port ~workers ?tune_db () in
   Log.info ~cat:"server" "listening"
     [ ("port", I (Httpd.port t.httpd)); ("workers", I workers) ];
   Printf.printf "memcomp serve: listening on 127.0.0.1:%d (%d workers)\n%!"

@@ -6,6 +6,11 @@
       [{"workload": .., "flow"?: .., "tile"?: .., "small"?: ..}];
       responds with the generated code, compile time, and the
       request id linking logs / decision trace / Chrome trace.
+      Flow ["tuned"] applies the best stored configuration from the
+      tuning database (content-addressed lookup, so a stale entry
+      misses rather than misapplies); a miss is a 404.
+    - [GET /tuned/<workload>] — every stored tuning-database entry for
+      that workload name (404 when there is none).
     - [GET /metrics] — OpenMetrics exposition of every Obs counter,
       span and histogram, plus process gauges (uptime, RSS, jobs in
       flight) and per-endpoint latency histograms.
@@ -24,15 +29,18 @@
 
 type t
 
-val create : ?port:int -> ?workers:int -> unit -> t
+val create : ?port:int -> ?workers:int -> ?tune_db:string -> unit -> t
 (** Enable Obs recording and start serving on loopback [port] (default
     8080; 0 picks a free port) with [workers] worker domains (default
-    4). Returns immediately; use from tests or embedders. *)
+    4). [tune_db] is the tuning-database file backing the ["tuned"]
+    flow and [/tuned/<workload>]; an unreadable database logs a
+    warning and serves as empty. Returns immediately; use from tests
+    or embedders. *)
 
 val port : t -> int
 
 val stop : t -> unit
 
-val run : ?port:int -> ?workers:int -> unit -> unit
+val run : ?port:int -> ?workers:int -> ?tune_db:string -> unit -> unit
 (** [create], then block until SIGTERM or SIGINT, then [stop]. The CLI
     entry point ([memcomp serve]). *)

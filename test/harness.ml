@@ -26,43 +26,17 @@ let run ?argv name suites =
 (* Seed threading shared by the randomized binaries (test_fuzz,
    test_props): `--seed N` on the command line wins over the FUZZ_SEED
    environment variable, and the flag is stripped from argv before
-   Alcotest parses it. Returns (seed, argv-for-alcotest). *)
-let seed_from_argv ?(default = 0) () =
-  let env_seed =
-    match Sys.getenv_opt "FUZZ_SEED" with
-    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
-    | None -> default
-  in
-  let args = Array.to_list Sys.argv in
-  let rec strip acc seed = function
-    | [] -> (seed, List.rev acc)
-    | "--seed" :: v :: rest -> (
-        match int_of_string_opt v with
-        | Some n -> strip acc n rest
-        | None -> strip acc seed rest)
-    | a :: rest -> strip (a :: acc) seed rest
-  in
-  let seed, argv = strip [] env_seed args in
-  (seed, Array.of_list argv)
+   Alcotest parses it. Returns (seed, argv-for-alcotest). The
+   precedence rules live in the shared Cli_util (lib/obs), so the test
+   binaries and the drivers can never drift apart. *)
+let seed_from_argv ?default () = Cli_util.seed_from_argv ?default Sys.argv
 
 (* `--shrink` (or FUZZ_SHRINK=1) turns on spec minimization after a
    fuzz mismatch: the failing seed's spec is greedily reduced with
    lib/verify's Shrink before the repro artifact is written. The flag
    is stripped before Alcotest parses argv; pass the argv returned by
    [seed_from_argv] so both flags compose. *)
-let shrink_from_argv ?(argv = Sys.argv) () =
-  let env =
-    match Sys.getenv_opt "FUZZ_SHRINK" with
-    | Some ("" | "0" | "false" | "no") | None -> false
-    | Some _ -> true
-  in
-  let rec strip acc on = function
-    | [] -> (on, List.rev acc)
-    | "--shrink" :: rest -> strip acc true rest
-    | a :: rest -> strip (a :: acc) on rest
-  in
-  let on, args = strip [] env (Array.to_list argv) in
-  (on, Array.of_list args)
+let shrink_from_argv ?argv () = Cli_util.shrink_from_argv ?argv ()
 
 (* One-line run banner shared by the randomized binaries, so a CI log
    shows the seed offset and shrink mode without digging into argv. *)

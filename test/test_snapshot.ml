@@ -230,6 +230,65 @@ let test_diff_added_is_not_regression () =
        deltas);
   check int "gate still passes" 0 (Bench_db.gate deltas)
 
+(* Missing-metric direction: a counter present in the base but absent
+   from the candidate is reported as removed AND gates (lost coverage
+   must not silently pass); a metric only in the candidate is added and
+   never gates; a noisy metric (speedup) may vanish freely. *)
+let test_diff_removed_metric_gates () =
+  let base_snap = sample_snapshot () in
+  let cand_snap =
+    { base_snap with
+      Snapshot.counters = [ ("bmap.apply_range", 17) ] (* fm.eliminate gone *)
+    }
+  in
+  let base = sample_db ~snapshots:[ base_snap ] () in
+  let cand = sample_db ~snapshots:[ cand_snap ] () in
+  let deltas = Bench_db.diff ~thresholds:th ~base ~cand () in
+  let removed =
+    List.filter (fun d -> d.Bench_db.d_class = Bench_db.Removed) deltas
+  in
+  check bool "direction is explicit: classified removed, not improved" true
+    (List.map (fun d -> d.Bench_db.d_metric) removed
+    = [ "counter.fm.eliminate" ]);
+  check bool "the removed counter is a gating regression" true
+    (List.exists
+       (fun d -> d.Bench_db.d_metric = "counter.fm.eliminate")
+       (Bench_db.regressions deltas));
+  check int "gate fails on silently lost coverage" 1 (Bench_db.gate deltas)
+
+let test_diff_removed_noisy_passes () =
+  let base_snap = { (sample_snapshot ()) with Snapshot.speedup = Some 1.7 } in
+  let cand_snap = sample_snapshot () in
+  let base = sample_db ~snapshots:[ base_snap ] () in
+  let cand = sample_db ~snapshots:[ cand_snap ] () in
+  let deltas = Bench_db.diff ~thresholds:th ~base ~cand () in
+  check bool "speedup removal reported" true
+    (List.exists
+       (fun d ->
+         d.Bench_db.d_metric = "speedup"
+         && d.Bench_db.d_class = Bench_db.Removed
+         && d.Bench_db.d_kind = Bench_db.Noisy)
+       deltas);
+  check int "noisy removal never gates" 0 (Bench_db.gate deltas)
+
+let test_diff_added_metric_passes () =
+  let base_snap = sample_snapshot () in
+  let cand_snap =
+    { base_snap with
+      Snapshot.counters = ("tuner.evaluated", 12) :: base_snap.Snapshot.counters
+    }
+  in
+  let base = sample_db ~snapshots:[ base_snap ] () in
+  let cand = sample_db ~snapshots:[ cand_snap ] () in
+  let deltas = Bench_db.diff ~thresholds:th ~base ~cand () in
+  check bool "new metric reported as added" true
+    (List.exists
+       (fun d ->
+         d.Bench_db.d_metric = "counter.tuner.evaluated"
+         && d.Bench_db.d_class = Bench_db.Added)
+       deltas);
+  check int "added metric never gates" 0 (Bench_db.gate deltas)
+
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -288,7 +347,13 @@ let () =
           Alcotest.test_case "counter drift gates" `Quick test_diff_counter_drift;
           Alcotest.test_case "missing pair gates" `Quick test_diff_missing_pair;
           Alcotest.test_case "added pair passes" `Quick
-            test_diff_added_is_not_regression
+            test_diff_added_is_not_regression;
+          Alcotest.test_case "removed metric gates" `Quick
+            test_diff_removed_metric_gates;
+          Alcotest.test_case "removed noisy metric passes" `Quick
+            test_diff_removed_noisy_passes;
+          Alcotest.test_case "added metric passes" `Quick
+            test_diff_added_metric_passes
         ] );
       ( "render",
         [ Alcotest.test_case "summary table" `Quick test_summary_table;
