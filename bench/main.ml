@@ -454,16 +454,10 @@ let default_parallel_workloads =
 
 (* Trimmed mean: drop the min and max sample when we have at least
    three, otherwise plain mean (see EXPERIMENTS.md, speedup
-   methodology). *)
-let trimmed_mean xs =
-  match List.sort compare xs with
-  | [] -> 0.0
-  | ([ _ ] | [ _; _ ]) as s ->
-      List.fold_left ( +. ) 0.0 s /. float_of_int (List.length s)
-  | sorted ->
-      let n = List.length sorted in
-      let inner = List.filteri (fun i _ -> i > 0 && i < n - 1) sorted in
-      List.fold_left ( +. ) 0.0 inner /. float_of_int (n - 2)
+   methodology). The streaming Digest tracks min/max/sum exactly, so
+   this matches the former sort-based computation; test_digest pins
+   the agreement. *)
+let trimmed_mean xs = Digest.trimmed_mean (Digest.of_list xs)
 
 let parallel_cmd args =
   let small = ref false in
@@ -901,24 +895,18 @@ let serve_cmd args =
       output_string oc scrape2;
       close_out oc
   | None -> ());
-  (* 6. report *)
-  let ls = Array.of_list !latencies in
-  Array.sort compare ls;
-  let pct p =
-    if Array.length ls = 0 then 0.0
-    else
-      ls.(min (Array.length ls - 1)
-            (int_of_float (ceil (p /. 100.0 *. float_of_int (Array.length ls))) - 1))
-  in
+  (* 6. report (shared streaming-quantile digest; exact at these n) *)
+  let dg = Digest.of_list !latencies in
+  let pct p = match Digest.quantile dg p with Some v -> v | None -> 0.0 in
   Printf.printf
     "serve: %d requests (%s/%s, tile %d) at concurrency %d against port %d\n"
     !requests !workload !flow !tile !concurrency !port;
   Printf.printf "  completed   %d ok, %d failed\n" (List.length !latencies)
     (!requests - List.length !latencies);
-  if Array.length ls > 0 then
+  if Digest.count dg > 0 then
     Printf.printf "  latency ms  p50 %.1f   p95 %.1f   p99 %.1f   max %.1f\n"
-      (pct 50.0) (pct 95.0) (pct 99.0)
-      ls.(Array.length ls - 1);
+      (pct 0.5) (pct 0.95) (pct 0.99)
+      (match Digest.maximum dg with Some v -> v | None -> 0.0);
   Printf.printf "  pipeline    runs +%d across load\n" d_runs;
   if !failures <> [] then begin
     Printf.eprintf "serve: %d check(s) failed:\n" (List.length !failures);
@@ -926,6 +914,255 @@ let serve_cmd args =
     exit 1
   end;
   Printf.printf "  checks      all passed (traces resolve, counters exact & monotone)\n"
+
+(* ------------------------------------------------------------------ *)
+(* soak: flight-recorder end-to-end proof against a live daemon.       *)
+(* Drives normal load, injects an error/latency burst until the        *)
+(* watchdog fires (degraded /healthz + /alerts), then recovers and     *)
+(* checks the alert clears, the /history series are monotone with      *)
+(* level-partitioned sums conserved, and /sketch quantiles are         *)
+(* ordered. Exits 1 on any failed check.                               *)
+(* ------------------------------------------------------------------ *)
+
+let soak_cmd args =
+  let port = ref 8080 in
+  let requests = ref 40 in
+  let timeout = ref 30.0 in
+  let expect_compacted = ref false in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ -> usage_error (Printf.sprintf "%s expects a positive integer, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: n :: rest ->
+        port := int_arg "--port" n;
+        parse rest
+    | "--requests" :: n :: rest ->
+        requests := int_arg "--requests" n;
+        parse rest
+    | "--timeout" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some f when f > 0. -> timeout := f
+        | _ -> usage_error (Printf.sprintf "--timeout expects seconds, got %S" s));
+        parse rest
+    | "--small" :: rest ->
+        (* lighter load for CI: fewer normal-phase requests *)
+        requests := min !requests 20;
+        parse rest
+    | "--expect-compacted" :: rest ->
+        expect_compacted := true;
+        parse rest
+    | a :: _ -> usage_error (Printf.sprintf "soak: unknown argument %s" a)
+  in
+  parse args;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let get path = Httpd.request ~port:!port path in
+  let rec wait_ready tries =
+    if tries = 0 then begin
+      Printf.eprintf "soak: daemon on port %d not ready, giving up\n%!" !port;
+      exit 1
+    end
+    else
+      match get "/healthz" with
+      | Ok (200, _) -> ()
+      | _ ->
+          Unix.sleepf 0.25;
+          wait_ready (tries - 1)
+  in
+  wait_ready 40;
+  let compile_posts = ref 0 in
+  let post_compile workload =
+    incr compile_posts;
+    let body =
+      Printf.sprintf "{\"workload\":%S,\"flow\":\"ours\",\"tile\":32,\"small\":true}"
+        workload
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Httpd.request ~meth:"POST" ~body ~port:!port "/compile" in
+    ((Unix.gettimeofday () -. t0) *. 1e3, r)
+  in
+  (* 1. normal phase: paced good traffic *)
+  let latencies = ref [] in
+  for _ = 1 to !requests do
+    (match post_compile "conv2d" with
+    | ms, Ok (200, _) -> latencies := ms :: !latencies
+    | _, Ok (status, body) ->
+        fail "normal phase: POST /compile status %d (%s)" status (String.trim body)
+    | _, Error msg -> fail "normal phase: POST /compile: %s" msg);
+    Unix.sleepf 0.01
+  done;
+  (* 2. burst: unknown-workload errors (plus their latency) until the
+     watchdog degrades /healthz, or the timeout expires *)
+  let t_burst = Unix.gettimeofday () in
+  let fired = ref false in
+  while (not !fired) && Unix.gettimeofday () -. t_burst < !timeout do
+    for _ = 1 to 5 do
+      ignore (post_compile "no_such_workload")
+    done;
+    (match get "/healthz" with Ok (503, _) -> fired := true | _ -> ());
+    if not !fired then Unix.sleepf 0.05
+  done;
+  let t_fire = Unix.gettimeofday () -. t_burst in
+  if not !fired then fail "watchdog did not degrade /healthz within %.1fs" !timeout;
+  (* firing rules visible at /alerts, and the counter moved *)
+  let jnum k j =
+    match Json_util.Json.member k j with
+    | Some (Json_util.Json.Num f) -> Some f
+    | _ -> None
+  in
+  let firing_rules () =
+    match get "/alerts" with
+    | Ok (200, body) -> (
+        match Json_util.Json.parse body with
+        | Ok j -> (
+            match Json_util.Json.member "firing" j with
+            | Some (Json_util.Json.Arr al) ->
+                List.filter_map
+                  (fun a ->
+                    match Json_util.Json.member "rule" a with
+                    | Some (Json_util.Json.Str r) -> Some r
+                    | _ -> None)
+                  al
+            | _ -> [])
+        | Error msg ->
+            fail "GET /alerts: bad JSON: %s" msg;
+            [])
+    | Ok (status, _) ->
+        fail "GET /alerts: status %d" status;
+        []
+    | Error msg ->
+        fail "GET /alerts: %s" msg;
+        []
+  in
+  if !fired && not (List.mem "slo-error-rate" (firing_rules ())) then
+    fail "degraded /healthz without slo-error-rate in /alerts firing list";
+  (match get "/counters" with
+  | Ok (200, body) -> (
+      match Json_util.Json.parse body with
+      | Ok j -> (
+          match jnum "watchdog.alerts_fired" j with
+          | Some v when v >= 1. -> ()
+          | Some v -> fail "watchdog.alerts_fired = %.0f, expected >= 1" v
+          | None -> fail "watchdog.alerts_fired missing from /counters")
+      | Error msg -> fail "GET /counters: bad JSON: %s" msg)
+  | Ok (status, _) -> fail "GET /counters: status %d" status
+  | Error msg -> fail "GET /counters: %s" msg);
+  (* 3. recovery: healthy traffic until the alert clears *)
+  let t_rec = Unix.gettimeofday () in
+  let cleared = ref false in
+  while (not !cleared) && Unix.gettimeofday () -. t_rec < !timeout do
+    for _ = 1 to 3 do
+      ignore (post_compile "conv2d")
+    done;
+    (match get "/healthz" with Ok (200, _) -> cleared := true | _ -> ());
+    if not !cleared then Unix.sleepf 0.1
+  done;
+  let t_clear = Unix.gettimeofday () -. t_rec in
+  if not !cleared then fail "watchdog did not clear within %.1fs of recovery" !timeout;
+  if !cleared && firing_rules () <> [] then
+    fail "/healthz recovered but /alerts still lists firing rules";
+  (* 4. history: monotone series; the auto union's sums sandwich the
+     per-level sums exactly (every point lives in exactly one level) *)
+  let points metric res =
+    match get (Printf.sprintf "/history/%s?res=%s" metric res) with
+    | Ok (200, body) -> (
+        match Json_util.Json.parse body with
+        | Ok j -> (
+            match Json_util.Json.member "points" j with
+            | Some (Json_util.Json.Arr ps) ->
+                List.filter_map
+                  (fun p ->
+                    match (jnum "ts" p, jnum "sum" p) with
+                    | Some ts, Some sum -> Some (ts, sum)
+                    | _ -> None)
+                  ps
+            | _ -> [])
+        | Error msg ->
+            fail "GET /history/%s: bad JSON: %s" metric msg;
+            [])
+    | Ok (status, _) ->
+        fail "GET /history/%s?res=%s: status %d" metric res status;
+        []
+    | Error msg ->
+        fail "GET /history/%s: %s" metric msg;
+        []
+  in
+  let sum_of ps = List.fold_left (fun acc (_, s) -> acc +. s) 0. ps in
+  let metric = "delta.http.requests" in
+  (* compaction only moves segments once they have sealed and aged past
+     the retention window; under --expect-compacted wait (bounded) for
+     the first downsampled points while the recorder keeps ticking *)
+  if !expect_compacted then begin
+    let t0 = Unix.gettimeofday () in
+    while
+      points metric "10s" = [] && points metric "60s" = []
+      && Unix.gettimeofday () -. t0 < !timeout
+    do
+      Unix.sleepf 0.3
+    done
+  end;
+  let auto1 = points metric "auto" in
+  if auto1 = [] then fail "/history/%s?res=auto returned no points" metric;
+  (let rec mono = function
+     | (t1, _) :: ((t2, _) :: _ as rest) ->
+         if t2 < t1 then fail "/history/%s: non-monotone ts %.3f -> %.3f" metric t1 t2
+         else mono rest
+     | _ -> ()
+   in
+   mono auto1);
+  let lvl = sum_of (points metric "raw") +. sum_of (points metric "10s")
+            +. sum_of (points metric "60s") in
+  let auto2 = points metric "auto" in
+  if not (sum_of auto1 <= lvl && lvl <= sum_of auto2) then
+    fail
+      "level sums not conserved: auto %.0f .. %.0f should sandwich raw+10s+60s %.0f"
+      (sum_of auto1) (sum_of auto2) lvl;
+  if !expect_compacted && points metric "10s" = [] && points metric "60s" = []
+  then fail "no downsampled points despite --expect-compacted";
+  (* 5. sketch: ordered quantiles, exact request count *)
+  (match get "/sketch/compile" with
+  | Ok (200, body) -> (
+      match Json_util.Json.parse body with
+      | Ok j -> (
+          match (jnum "p50" j, jnum "p90" j, jnum "p95" j, jnum "p99" j) with
+          | Some p50, Some p90, Some p95, Some p99 ->
+              if not (p50 <= p90 && p90 <= p95 && p95 <= p99) then
+                fail "sketch quantiles not ordered: %.2f %.2f %.2f %.2f" p50 p90
+                  p95 p99;
+              (match jnum "count" j with
+              | Some c when int_of_float c = !compile_posts -> ()
+              | Some c ->
+                  fail "sketch count %.0f, expected %d compile posts" c
+                    !compile_posts
+              | None -> fail "sketch lacks a count field");
+              (match jnum "rank_error" j with
+              | Some e when e >= 0. -> ()
+              | _ -> fail "sketch lacks a rank_error bound")
+          | _ -> fail "/sketch/compile lacks quantile fields")
+      | Error msg -> fail "GET /sketch/compile: bad JSON: %s" msg)
+  | Ok (status, _) -> fail "GET /sketch/compile: status %d" status
+  | Error msg -> fail "GET /sketch/compile: %s" msg);
+  (* report *)
+  let dg = Digest.of_list !latencies in
+  let pct p = match Digest.quantile dg p with Some v -> v | None -> 0.0 in
+  Printf.printf "soak: %d normal + burst/recovery against port %d\n" !requests
+    !port;
+  Printf.printf "  watchdog    fired after %.2fs of burst, cleared %.2fs into \
+                 recovery\n"
+    t_fire t_clear;
+  if Digest.count dg > 0 then
+    Printf.printf "  latency ms  p50 %.1f   p95 %.1f   p99 %.1f\n" (pct 0.5)
+      (pct 0.95) (pct 0.99);
+  if !failures <> [] then begin
+    Printf.eprintf "soak: %d check(s) failed:\n" (List.length !failures);
+    List.iter (fun m -> Printf.eprintf "  - %s\n" m) (List.rev !failures);
+    exit 1
+  end;
+  Printf.printf
+    "  checks      all passed (fire/clear, history conserved, sketch ordered)\n"
 
 let experiments =
   [ ("table1", Paper_experiments.table1);
@@ -955,6 +1192,7 @@ let () =
   | "parallel" :: rest -> parallel_cmd rest
   | "tune" :: rest -> tune_cmd rest
   | "serve" :: rest -> serve_cmd rest
+  | "soak" :: rest -> soak_cmd rest
   | names ->
       List.iter
         (fun n ->

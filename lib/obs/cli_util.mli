@@ -6,7 +6,9 @@
 
     - worker count: [--jobs N] over [MEMCOMP_JOBS], default 1;
     - fuzz seed: [--seed N] over [FUZZ_SEED], default 0;
-    - log threshold: [--log-level L] over [MEMCOMP_LOG], default warn.
+    - log threshold: [--log-level L] over [MEMCOMP_LOG], default warn;
+    - trace ring capacity: [--trace-cap N] over [MEMCOMP_TRACE_CAP],
+      default the {!Obs} built-in ring size.
 
     This module is the single home of those precedence rules, so a new
     subcommand (e.g. [memcomp tune]) inherits them by construction. *)
@@ -31,6 +33,16 @@ val shrink_from_argv : ?argv:string array -> unit -> bool * string array
     requested: the flag, or a non-empty/non-false [FUZZ_SHRINK]
     environment value. Compose with {!seed_from_argv} by passing its
     returned argv. *)
+
+val resolve_trace_cap : int option -> int option
+(** Trace-ring capacity: the [--trace-cap N] flag value when given,
+    else [MEMCOMP_TRACE_CAP] when it parses as an integer, else [None]
+    (leave [Obs]'s default in place). Clamped to at least 0. *)
+
+val apply_trace_cap : int option -> unit
+(** {!resolve_trace_cap}, applied via [Obs.set_trace_capacity] when a
+    cap is configured. Call once at executable start-up, before
+    tracing begins. *)
 
 val set_log_level : string option -> (unit, string) result
 (** Apply the structured-log threshold: the flag value when given

@@ -1,0 +1,208 @@
+(* Streaming quantile sketch (see digest.mli).
+
+   Representation: a sorted list of centroids — disjoint value
+   intervals [c_min, c_max] with an occupancy count and value sum —
+   plus an unsorted insert buffer so [add] is O(1). Flushing sorts the
+   buffer and weaves it through the centroid list: a value strictly
+   inside an existing interval is absorbed (intervals stay disjoint),
+   anything else becomes a singleton. When more than [capacity]
+   centroids exist, compression repeatedly merges the adjacent pair of
+   least combined occupancy; among k centroids the minimal adjacent
+   pair holds at most 2n/(k-1) observations (the k-1 pair sums add up
+   to at most 2n), so no compression step ever creates a centroid
+   heavier than ceil(2n/capacity).
+
+   The rank-error certificate in [rank_error] follows from
+   disjointness: the estimate for a target rank is interpolated inside
+   the unique centroid covering that rank, so its true rank is off by
+   at most that centroid's occupancy; after cross-digest merges
+   (which may overlap intervals) the occupancy of overlapping
+   neighbours is added in. *)
+
+type centroid = {
+  mutable c_min : float;
+  mutable c_max : float;
+  mutable c_count : int;
+  mutable c_sum : float;
+}
+
+type t = {
+  cap : int;
+  mutable cs : centroid list;  (* sorted by c_min *)
+  mutable ncs : int;
+  mutable n : int;
+  mutable buf : float list;  (* pending, unsorted *)
+  mutable nbuf : int;
+}
+
+let create ?(capacity = 128) () =
+  { cap = max 8 capacity; cs = []; ncs = 0; n = 0; buf = []; nbuf = 0 }
+
+let capacity t = t.cap
+
+let count t = t.n
+
+let singleton v = { c_min = v; c_max = v; c_count = 1; c_sum = v }
+
+(* Merge right centroid [b] into left centroid [a] (they are adjacent
+   in c_min order, so the union interval is [a.c_min, max of maxes]). *)
+let absorb_right a b =
+  a.c_max <- Float.max a.c_max b.c_max;
+  a.c_count <- a.c_count + b.c_count;
+  a.c_sum <- a.c_sum +. b.c_sum
+
+let compress t =
+  if t.ncs > t.cap then begin
+    let arr = Array.of_list t.cs in
+    let len = ref (Array.length arr) in
+    while !len > t.cap do
+      let best = ref 0 and best_w = ref max_int in
+      for i = 0 to !len - 2 do
+        let w = arr.(i).c_count + arr.(i + 1).c_count in
+        if w < !best_w then begin
+          best := i;
+          best_w := w
+        end
+      done;
+      absorb_right arr.(!best) arr.(!best + 1);
+      for i = !best + 1 to !len - 2 do
+        arr.(i) <- arr.(i + 1)
+      done;
+      decr len
+    done;
+    t.cs <- Array.to_list (Array.sub arr 0 !len);
+    t.ncs <- !len
+  end
+
+(* Weave the sorted pending values through the sorted centroid list:
+   absorb values landing inside an existing interval, keep everything
+   else as a singleton. *)
+let flush t =
+  if t.nbuf > 0 then begin
+    let vs = List.sort Float.compare t.buf in
+    t.buf <- [];
+    t.nbuf <- 0;
+    let rec weave acc cs vs =
+      match (cs, vs) with
+      | cs, [] -> List.rev_append acc cs
+      | [], v :: vs -> weave (singleton v :: acc) [] vs
+      | (c :: cs' as cs), v :: vs' ->
+          if v < c.c_min then weave (singleton v :: acc) cs vs'
+          else if v <= c.c_max then begin
+            c.c_count <- c.c_count + 1;
+            c.c_sum <- c.c_sum +. v;
+            weave acc cs vs'
+          end
+          else weave (c :: acc) cs' vs
+    in
+    t.cs <- weave [] t.cs vs;
+    t.ncs <- List.length t.cs;
+    compress t
+  end
+
+let add t v =
+  if Float.is_finite v then begin
+    t.buf <- v :: t.buf;
+    t.nbuf <- t.nbuf + 1;
+    t.n <- t.n + 1;
+    if t.nbuf >= t.cap then flush t
+  end
+
+let add_list t vs = List.iter (add t) vs
+
+let of_list ?capacity vs =
+  let t = create ?capacity () in
+  add_list t vs;
+  t
+
+let merge a b =
+  flush a;
+  flush b;
+  let t = create ~capacity:(max a.cap b.cap) () in
+  let copy c = { c with c_min = c.c_min } in
+  let rec weave acc xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc (List.map copy rest)
+    | x :: xs', y :: ys' ->
+        if x.c_min <= y.c_min then weave (copy x :: acc) xs' ys
+        else weave (copy y :: acc) xs ys'
+  in
+  t.cs <- weave [] a.cs b.cs;
+  t.ncs <- a.ncs + b.ncs;
+  t.n <- a.n + b.n;
+  compress t;
+  t
+
+let sum t =
+  flush t;
+  List.fold_left (fun acc c -> acc +. c.c_sum) 0.0 t.cs
+
+let minimum t =
+  flush t;
+  match t.cs with [] -> None | c :: _ -> Some c.c_min
+
+let maximum t =
+  flush t;
+  match t.cs with
+  | [] -> None
+  | cs -> Some (List.fold_left (fun acc c -> Float.max acc c.c_max) neg_infinity cs)
+
+let mean t = if t.n = 0 then None else Some (sum t /. float_of_int t.n)
+
+let trimmed_mean t =
+  if t.n = 0 then 0.0
+  else if t.n <= 2 then sum t /. float_of_int t.n
+  else
+    match (minimum t, maximum t) with
+    | Some mn, Some mx -> (sum t -. mn -. mx) /. float_of_int (t.n - 2)
+    | _ -> 0.0
+
+let quantile t q =
+  flush t;
+  if t.n = 0 then None
+  else begin
+    let r = Float.max 0.0 (Float.min 1.0 q) *. float_of_int (t.n - 1) in
+    (* centroid covering 0-based ranks [base, base + count - 1]; a
+       fractional rank between two centroids interpolates across the
+       one-position gap between the left end value and the right start *)
+    let rec go base prev = function
+      | [] -> ( match prev with Some (_, v) -> v | None -> 0.0)
+      | c :: rest ->
+          let lo = float_of_int base
+          and hi = float_of_int (base + c.c_count - 1) in
+          if r < lo then
+            match prev with
+            | Some (pr, pv) -> pv +. ((c.c_min -. pv) *. (r -. pr) /. (lo -. pr))
+            | None -> c.c_min
+          else if r <= hi then
+            if c.c_count = 1 then c.c_sum
+            else c.c_min +. ((c.c_max -. c.c_min) *. (r -. lo) /. (hi -. lo))
+          else go (base + c.c_count) (Some (hi, c.c_max)) rest
+    in
+    Some (go 0 None t.cs)
+  end
+
+let quantiles t qs =
+  if t.n = 0 then []
+  else List.map (fun q -> match quantile t q with Some v -> v | None -> 0.0) qs
+
+let rank_error t =
+  flush t;
+  let cs = Array.of_list t.cs in
+  let k = Array.length cs in
+  let worst = ref 0 in
+  for j = 0 to k - 1 do
+    let c = cs.(j) in
+    let own = if c.c_min = c.c_max then 0 else c.c_count - 1 in
+    let overlap = ref 0 in
+    for i = 0 to k - 1 do
+      if i <> j && cs.(i).c_min < c.c_max && cs.(i).c_max > c.c_min then
+        overlap := !overlap + cs.(i).c_count
+    done;
+    if own + !overlap > !worst then worst := own + !overlap
+  done;
+  !worst
+
+let centroids t =
+  flush t;
+  t.ncs

@@ -142,6 +142,28 @@ let render ?(extra = []) () =
 (* and tests to check counters against Obs.counters_alist.           *)
 (* --------------------------------------------------------------- *)
 
+let unescape_label s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | 'n' -> Buffer.add_char b '\n'
+       | '"' -> Buffer.add_char b '"'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
 let parse_counters text =
   String.split_on_char '\n' text
   |> List.filter_map (fun line ->
@@ -163,3 +185,24 @@ let parse_counters text =
                      Some (String.sub name 0 (String.length name - 6), int_of_float f)
                  | _ -> None
                else None)
+
+let parse_gauges text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some sp ->
+               let name = String.sub line 0 sp in
+               let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+               let is_counter =
+                 String.length name > 6
+                 && String.sub name (String.length name - 6) 6 = "_total"
+               in
+               if is_counter || String.contains name '{' then None
+               else
+                 match float_of_string_opt v with
+                 | Some f -> Some (name, f)
+                 | None -> None)

@@ -24,6 +24,15 @@ val sanitize : string -> string
 (** Map a dotted Obs name onto the metric-name alphabet
     ([a-zA-Z0-9_:]); every other byte becomes ['_']. *)
 
+val escape_label : string -> string
+(** OpenMetrics label-value escaping: backslash, double-quote and
+    newline only (narrower than JSON). Also used by {!Tsdb} tests to
+    pin the shared label round-trip contract. *)
+
+val unescape_label : string -> string
+(** Inverse of {!escape_label}: [unescape_label (escape_label s) = s]
+    for every [s]. Unknown escape pairs pass through verbatim. *)
+
 val render : ?extra:family list -> unit -> string
 (** Render the full exposition. [?extra] families (the daemon's process
     gauges and request-latency summaries) are emitted first, in the
@@ -34,3 +43,8 @@ val parse_counters : string -> (string * int) list
     exposition as [(family_without_suffix, value)], in document order.
     Used by the bench load generator and tests to compare two scrapes
     and to check counters against [Obs.counters_alist]. *)
+
+val parse_gauges : string -> (string * float) list
+(** Scrape-side helper: unlabeled non-counter samples (the daemon's
+    process gauges) as [(full_name, value)], in document order. Used
+    by [memcomp top]. *)

@@ -1,0 +1,380 @@
+(* On-disk time-series store (see tsdb.mli).
+
+   A point is one JSONL line {"ts","m","l","c","s","mn","mx"}; segment
+   files are named seg-<level>-<index>.jsonl. The store keeps no index
+   in memory beyond the active raw writer: queries re-read segments,
+   which keeps recovery trivial (the files are the state) at sizes the
+   flight recorder produces. Compaction moves whole aged segments to
+   the next level, so levels never overlap in the points they hold. *)
+
+open Json_util
+
+type point = {
+  p_ts : float;
+  p_count : int;
+  p_sum : float;
+  p_min : float;
+  p_max : float;
+}
+
+type res = Raw | R10 | R60 | Auto
+
+let res_of_string = function
+  | "raw" -> Some Raw
+  | "10s" -> Some R10
+  | "60s" | "1m" -> Some R60
+  | "auto" -> Some Auto
+  | _ -> None
+
+let res_to_string = function
+  | Raw -> "raw"
+  | R10 -> "10s"
+  | R60 -> "60s"
+  | Auto -> "auto"
+
+type config = {
+  seg_points : int;
+  ret_raw_s : float;
+  ret_mid_s : float;
+  max_coarse_segments : int;
+}
+
+let default_config =
+  { seg_points = 2048;
+    ret_raw_s = 600.;
+    ret_mid_s = 3600.;
+    max_coarse_segments = 64
+  }
+
+type record = {
+  r_metric : string;
+  r_labels : (string * string) list;  (* sorted by key *)
+  r_point : point;
+}
+
+type t = {
+  t_dir : string;
+  t_cfg : config;
+  mutable t_next_idx : int array;  (* per level *)
+  mutable t_active : (string * out_channel) option;  (* level-0 writer *)
+  mutable t_active_count : int;
+  mutable t_active_max_ts : float;
+}
+
+let schema_version = 1
+
+let levels = 3
+
+let bucket_of_level = function 1 -> 10. | 2 -> 60. | _ -> 1.
+
+let seg_name level idx = Printf.sprintf "seg-%d-%06d.jsonl" level idx
+
+let parse_seg_name name =
+  try Scanf.sscanf name "seg-%d-%d.jsonl%!" (fun l i -> Some (l, i))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let segments_of_level t level =
+  Sys.readdir t.t_dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match parse_seg_name name with
+         | Some (l, i) when l = level -> Some (i, Filename.concat t.t_dir name)
+         | _ -> None)
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Line codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let record_to_line r =
+  let p = r.r_point in
+  Json.to_string
+    (Json.Obj
+       [ ("ts", Json.Num p.p_ts);
+         ("m", Json.Str r.r_metric);
+         ("l", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.r_labels));
+         ("c", Json.Num (float_of_int p.p_count));
+         ("s", Json.Num p.p_sum);
+         ("mn", Json.Num p.p_min);
+         ("mx", Json.Num p.p_max)
+       ])
+
+let record_of_line line =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      let num k = match Json.member k j with Some (Json.Num f) -> Some f | _ -> None in
+      match (num "ts", Json.member "m" j, num "c", num "s", num "mn", num "mx") with
+      | Some ts, Some (Json.Str m), Some c, Some s, Some mn, Some mx ->
+          let labels =
+            match Json.member "l" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Str s -> Some (k, s) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          Some
+            { r_metric = m;
+              r_labels = List.sort compare labels;
+              r_point =
+                { p_ts = ts;
+                  p_count = int_of_float c;
+                  p_sum = s;
+                  p_min = mn;
+                  p_max = mx
+                }
+            }
+      | _ -> None)
+
+(* Read a segment: the records of its longest valid-JSONL prefix and
+   that prefix's byte length (shorter than the file when the tail is a
+   partial or corrupt line). *)
+let load_segment path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let recs = ref [] and ok_len = ref 0 and pos = ref 0 and stop = ref false in
+  while (not !stop) && !pos < len do
+    match String.index_from_opt s !pos '\n' with
+    | None -> stop := true
+    | Some nl -> (
+        match record_of_line (String.sub s !pos (nl - !pos)) with
+        | Some r ->
+            recs := r :: !recs;
+            ok_len := nl + 1;
+            pos := nl + 1
+        | None -> stop := true)
+  done;
+  (List.rev !recs, !ok_len, len)
+
+(* ------------------------------------------------------------------ *)
+(* Open / recovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let open_db ?(config = default_config) dir =
+  try
+    mkdir_p dir;
+    let meta = Filename.concat dir "meta.json" in
+    let check_meta () =
+      match Json.parse (read_file meta) with
+      | Ok j -> (
+          match Json.member "schema" j with
+          | Some (Json.Num v) when int_of_float v = schema_version -> Ok ()
+          | Some (Json.Num v) ->
+              Error
+                (Printf.sprintf "tsdb: unsupported schema %d (expected %d)"
+                   (int_of_float v) schema_version)
+          | _ -> Error "tsdb: meta.json lacks a schema field")
+      | Error e -> Error ("tsdb: bad meta.json: " ^ e)
+    in
+    let meta_ok =
+      if Sys.file_exists meta then check_meta ()
+      else begin
+        write_file meta
+          (Json.to_string
+             (Json.Obj [ ("schema", Json.Num (float_of_int schema_version)) ])
+          ^ "\n");
+        Ok ()
+      end
+    in
+    match meta_ok with
+    | Error e -> Error e
+    | Ok () ->
+        let t =
+          { t_dir = dir;
+            t_cfg = config;
+            t_next_idx = Array.make levels 0;
+            t_active = None;
+            t_active_count = 0;
+            t_active_max_ts = neg_infinity
+          }
+        in
+        (* truncated-tail recovery + next segment indices *)
+        for level = 0 to levels - 1 do
+          List.iter
+            (fun (idx, path) ->
+              let _, ok_len, len = load_segment path in
+              if ok_len < len then write_file path (String.sub (read_file path) 0 ok_len);
+              if idx >= t.t_next_idx.(level) then t.t_next_idx.(level) <- idx + 1)
+            (segments_of_level t level)
+        done;
+        Ok t
+  with Sys_error e | Unix.Unix_error (_, e, _) -> Error ("tsdb: " ^ e)
+
+let dir t = t.t_dir
+
+(* ------------------------------------------------------------------ *)
+(* Append                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seal_active t =
+  match t.t_active with
+  | None -> ()
+  | Some (_, oc) ->
+      close_out oc;
+      t.t_active <- None;
+      t.t_active_count <- 0;
+      t.t_active_max_ts <- neg_infinity
+
+let fresh_segment t level =
+  let idx = t.t_next_idx.(level) in
+  t.t_next_idx.(level) <- idx + 1;
+  Filename.concat t.t_dir (seg_name level idx)
+
+let active_channel t =
+  match t.t_active with
+  | Some (_, oc) -> oc
+  | None ->
+      let path = fresh_segment t 0 in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      t.t_active <- Some (path, oc);
+      oc
+
+let append t ~metric ?(labels = []) point =
+  let oc = active_channel t in
+  output_string oc
+    (record_to_line
+       { r_metric = metric; r_labels = List.sort compare labels; r_point = point });
+  output_char oc '\n';
+  flush oc;
+  t.t_active_count <- t.t_active_count + 1;
+  t.t_active_max_ts <- Float.max t.t_active_max_ts point.p_ts;
+  if t.t_active_count >= t.t_cfg.seg_points then seal_active t
+
+let observe t ~ts ~metric ?labels v =
+  append t ~metric ?labels
+    { p_ts = ts; p_count = 1; p_sum = v; p_min = v; p_max = v }
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate records into [width]-second buckets keyed by
+   (metric, labels, bucket start); count/sum add and min/max combine,
+   so every bucket conserves what it replaces. *)
+let downsample width recs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let b = Float.of_int (int_of_float (Float.floor (r.r_point.p_ts /. width))) *. width in
+      let key = (r.r_metric, r.r_labels, b) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.add tbl key
+            { r with r_point = { r.r_point with p_ts = b } };
+          order := key :: !order
+      | Some agg ->
+          let p = agg.r_point and q = r.r_point in
+          Hashtbl.replace tbl key
+            { agg with
+              r_point =
+                { p_ts = b;
+                  p_count = p.p_count + q.p_count;
+                  p_sum = p.p_sum +. q.p_sum;
+                  p_min = Float.min p.p_min q.p_min;
+                  p_max = Float.max p.p_max q.p_max
+                }
+            })
+    recs;
+  List.rev_map (Hashtbl.find tbl) !order
+  |> List.sort (fun a b -> compare (a.r_point.p_ts, a.r_metric) (b.r_point.p_ts, b.r_metric))
+
+let write_segment t level recs =
+  if recs <> [] then begin
+    let path = fresh_segment t level in
+    let oc = open_out_bin path in
+    List.iter
+      (fun r ->
+        output_string oc (record_to_line r);
+        output_char oc '\n')
+      recs;
+    close_out oc
+  end
+
+(* Move every sealed [level] segment whose newest point is older than
+   [cutoff] into [level + 1], downsampled to that level's bucket. *)
+let compact_level t ~level ~cutoff =
+  let active_path = match t.t_active with Some (p, _) -> Some p | None -> None in
+  List.iter
+    (fun (_, path) ->
+      if Some path <> active_path then begin
+        let recs, _, _ = load_segment path in
+        let newest =
+          List.fold_left (fun acc r -> Float.max acc r.r_point.p_ts) neg_infinity recs
+        in
+        if newest < cutoff then begin
+          write_segment t (level + 1) (downsample (bucket_of_level (level + 1)) recs);
+          Sys.remove path
+        end
+      end)
+    (segments_of_level t level)
+
+let compact t ~now =
+  (* seal an idle active segment so it can age out *)
+  if t.t_active_count > 0 && t.t_active_max_ts < now -. t.t_cfg.ret_raw_s then
+    seal_active t;
+  compact_level t ~level:0 ~cutoff:(now -. t.t_cfg.ret_raw_s);
+  compact_level t ~level:1 ~cutoff:(now -. t.t_cfg.ret_mid_s);
+  let coarse = segments_of_level t 2 in
+  let excess = List.length coarse - t.t_cfg.max_coarse_segments in
+  if excess > 0 then
+    List.iteri (fun i (_, path) -> if i < excess then Sys.remove path) coarse
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let levels_of_res = function
+  | Raw -> [ 0 ]
+  | R10 -> [ 1 ]
+  | R60 -> [ 2 ]
+  | Auto -> [ 0; 1; 2 ]
+
+let all_records t res =
+  List.concat_map
+    (fun level ->
+      List.concat_map
+        (fun (_, path) ->
+          let recs, _, _ = load_segment path in
+          recs)
+        (segments_of_level t level))
+    (levels_of_res res)
+
+let query t ~metric ?(labels = []) ?(since = neg_infinity) ~res () =
+  let wanted = List.sort compare labels in
+  all_records t res
+  |> List.filter (fun r ->
+         r.r_metric = metric
+         && r.r_point.p_ts >= since
+         && List.for_all
+              (fun (k, v) -> List.assoc_opt k r.r_labels = Some v)
+              wanted)
+  |> List.map (fun r -> r.r_point)
+  |> List.sort (fun a b -> compare a.p_ts b.p_ts)
+
+let metric_names t =
+  all_records t Auto
+  |> List.map (fun r -> r.r_metric)
+  |> List.sort_uniq compare
+
+let close t = seal_active t

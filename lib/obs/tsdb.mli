@@ -1,0 +1,84 @@
+(** Append-only, schema-versioned on-disk time-series store with
+    ring-bounded retention and resolution downsampling.
+
+    Layout: a directory holding [meta.json] (schema version) and
+    numbered JSONL segment files [seg-<level>-<index>.jsonl], one JSON
+    object per line. Level 0 holds raw points; {!compact} moves whole
+    aged level-0 segments into 10-second buckets at level 1, aged
+    level-1 segments into 60-second buckets at level 2, and bounds
+    level 2 as a ring by deleting the oldest segments. A point lives in
+    exactly one level, so the union of all levels is a complete,
+    non-overlapping history and downsampling conserves counts and sums
+    (each bucket aggregates count/sum/min/max of the points it
+    replaces).
+
+    Durability: every appended line is flushed; {!open_db} recovers a
+    store whose process died mid-append by truncating each segment to
+    its longest valid-JSONL prefix. Unknown schema versions are
+    refused, not guessed at.
+
+    Not thread-safe: guard a shared store with a mutex (the flight
+    recorder does). *)
+
+type point = {
+  p_ts : float;  (** unix seconds; for downsampled points, bucket start *)
+  p_count : int;
+  p_sum : float;
+  p_min : float;
+  p_max : float;
+}
+
+(** Query resolution: one level, or the union of all levels ([Auto] —
+    the complete history, oldest data coarsest). *)
+type res = Raw | R10 | R60 | Auto
+
+val res_of_string : string -> res option
+(** Accepts ["raw"], ["10s"], ["60s"]/["1m"], ["auto"]. *)
+
+val res_to_string : res -> string
+
+type config = {
+  seg_points : int;  (** rotate the active raw segment after this many points *)
+  ret_raw_s : float;  (** raw points older than this downsample to 10s *)
+  ret_mid_s : float;  (** 10s points older than this downsample to 60s *)
+  max_coarse_segments : int;  (** ring bound on 60s-level segments *)
+}
+
+val default_config : config
+(** [{ seg_points = 2048; ret_raw_s = 600.; ret_mid_s = 3600.;
+      max_coarse_segments = 64 }] *)
+
+type t
+
+val open_db : ?config:config -> string -> (t, string) result
+(** Open (creating the directory and [meta.json] if needed) and run
+    truncated-tail recovery on every segment. Appends go to a fresh
+    raw segment. *)
+
+val dir : t -> string
+
+val observe :
+  t -> ts:float -> metric:string -> ?labels:(string * string) list ->
+  float -> unit
+(** Append a single raw observation (a count-1 point). *)
+
+val append :
+  t -> metric:string -> ?labels:(string * string) list -> point -> unit
+(** Append a pre-aggregated raw point. *)
+
+val compact : t -> now:float -> unit
+(** Apply retention: seal an idle active segment, downsample aged
+    segments level by level, enforce the coarse-level ring bound.
+    Cheap when nothing has aged; call it every scrape tick. *)
+
+val query :
+  t -> metric:string -> ?labels:(string * string) list ->
+  ?since:float -> res:res -> unit -> point list
+(** Points of [metric] whose labels contain all of [labels] (default:
+    any) and whose [p_ts >= since] (default: all), sorted by
+    timestamp. *)
+
+val metric_names : t -> string list
+(** Distinct metric names across all levels, sorted. *)
+
+val close : t -> unit

@@ -1,0 +1,173 @@
+(* SLO / anomaly rule engine (see watchdog.mli). *)
+
+type cmp = Above | Below
+
+type kind =
+  | Slo of { threshold : float; cmp : cmp }
+  | Anomaly of { window : int; sigma : float; min_samples : int }
+
+type rule = {
+  r_name : string;
+  r_metric : string;
+  r_kind : kind;
+  r_fire_ticks : int;
+  r_clear_ticks : int;
+  r_help : string;
+}
+
+type alert = {
+  a_rule : string;
+  a_metric : string;
+  a_value : float;
+  a_since : float;
+  a_detail : string;
+}
+
+type event = Fired of alert | Cleared of alert
+
+type rule_state = {
+  rs_rule : rule;
+  mutable rs_breach : int;  (* consecutive breaching ticks *)
+  mutable rs_ok : int;  (* consecutive healthy ticks *)
+  mutable rs_alert : alert option;  (* Some while firing *)
+  (* rolling history for anomaly rules, newest first *)
+  mutable rs_hist : float list;
+  mutable rs_nhist : int;
+}
+
+type t = rule_state list
+
+let default_rules ?(error_rate = 0.5) ?(p99_ms = 5000.)
+    ?(rss_bytes = 6. *. 1024. *. 1024. *. 1024.) () =
+  let slo name metric threshold help =
+    { r_name = name;
+      r_metric = metric;
+      r_kind = Slo { threshold; cmp = Above };
+      r_fire_ticks = 2;
+      r_clear_ticks = 2;
+      r_help = help
+    }
+  in
+  let anomaly name metric help =
+    { r_name = name;
+      r_metric = metric;
+      r_kind = Anomaly { window = 120; sigma = 6.0; min_samples = 40 };
+      r_fire_ticks = 2;
+      r_clear_ticks = 2;
+      r_help = help
+    }
+  in
+  [ slo "slo-error-rate" "http.error_rate" error_rate
+      "fraction of HTTP requests answered with status >= 400";
+    slo "slo-p99-compile-ms" "http.latency_ms.compile.p99" p99_ms
+      "p99 latency of POST /compile over the last scrape window";
+    slo "slo-rss-bytes" "process.rss_bytes" rss_bytes
+      "resident set size of the serve daemon";
+    anomaly "anomaly-cache-hit-ratio" "fm.cache.hit_ratio"
+      "footprint-model cache hit ratio drifted from its rolling mean";
+    anomaly "anomaly-dram-per-request" "machine.dram_per_request"
+      "modeled DRAM traffic per compile request drifted from its rolling mean";
+    anomaly "anomaly-steal-rate" "runtime.steal_rate"
+      "work-steals per executed tile drifted from its rolling mean"
+  ]
+
+let create rules =
+  List.map
+    (fun r ->
+      { rs_rule = r;
+        rs_breach = 0;
+        rs_ok = 0;
+        rs_alert = None;
+        rs_hist = [];
+        rs_nhist = 0
+      })
+    rules
+
+let rules (t : t) = List.map (fun rs -> rs.rs_rule) t
+
+let firing (t : t) = List.filter_map (fun rs -> rs.rs_alert) t
+
+(* Breach verdict for one sample; [None] means "cannot judge yet"
+   (anomaly warmup), which holds state like a missing metric does. *)
+let judge rs v =
+  match rs.rs_rule.r_kind with
+  | Slo { threshold; cmp } ->
+      let breach =
+        match cmp with Above -> v > threshold | Below -> v < threshold
+      in
+      let detail =
+        Printf.sprintf "%s %.6g %s threshold %.6g" rs.rs_rule.r_metric v
+          (match cmp with Above -> ">" | Below -> "<")
+          threshold
+      in
+      Some (breach, detail)
+  | Anomaly { sigma; min_samples; _ } ->
+      if rs.rs_nhist < min_samples then None
+      else begin
+        let n = float_of_int rs.rs_nhist in
+        let mean = List.fold_left ( +. ) 0.0 rs.rs_hist /. n in
+        let var =
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0.0 rs.rs_hist
+          /. n
+        in
+        (* floor σ at 1% of |mean| so constant histories don't alert *)
+        let sd = Float.max (sqrt var) (Float.max (0.01 *. Float.abs mean) 1e-9) in
+        let dev = Float.abs (v -. mean) /. sd in
+        Some
+          ( dev > sigma,
+            Printf.sprintf "%s %.6g deviates %.2fσ from rolling mean %.6g"
+              rs.rs_rule.r_metric v dev mean )
+      end
+
+let push_history rs v =
+  match rs.rs_rule.r_kind with
+  | Slo _ -> ()
+  | Anomaly { window; _ } ->
+      rs.rs_hist <- v :: rs.rs_hist;
+      rs.rs_nhist <- rs.rs_nhist + 1;
+      if rs.rs_nhist > window then begin
+        (* drop the oldest (last) element *)
+        rs.rs_hist <- List.filteri (fun i _ -> i < window) rs.rs_hist;
+        rs.rs_nhist <- window
+      end
+
+let tick (t : t) ~now ~lookup =
+  List.filter_map
+    (fun rs ->
+      match lookup rs.rs_rule.r_metric with
+      | None -> None
+      | Some v -> (
+          let verdict = judge rs v in
+          push_history rs v;
+          match verdict with
+          | None -> None
+          | Some (breach, detail) ->
+              if breach then begin
+                rs.rs_breach <- rs.rs_breach + 1;
+                rs.rs_ok <- 0
+              end
+              else begin
+                rs.rs_ok <- rs.rs_ok + 1;
+                rs.rs_breach <- 0
+              end;
+              (match rs.rs_alert with
+              | None when rs.rs_breach >= rs.rs_rule.r_fire_ticks ->
+                  let a =
+                    { a_rule = rs.rs_rule.r_name;
+                      a_metric = rs.rs_rule.r_metric;
+                      a_value = v;
+                      a_since = now;
+                      a_detail = detail
+                    }
+                  in
+                  rs.rs_alert <- Some a;
+                  Some (Fired a)
+              | Some a when rs.rs_ok >= rs.rs_rule.r_clear_ticks ->
+                  rs.rs_alert <- None;
+                  Some (Cleared { a with a_value = v; a_detail = detail })
+              | Some a ->
+                  (* keep the alert's last-seen sample fresh *)
+                  rs.rs_alert <- Some { a with a_value = v; a_detail = detail };
+                  None
+              | None -> None)))
+    t

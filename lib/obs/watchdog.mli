@@ -1,0 +1,66 @@
+(** SLO / anomaly rule engine, evaluated once per scrape tick.
+
+    Pure state machine: the caller supplies the clock and a metric
+    [lookup] each {!tick}, so every transition is deterministic and
+    unit-testable. Each rule watches one metric and is either a static
+    SLO threshold or a rolling mean/σ anomaly detector. A rule fires
+    after [r_fire_ticks] consecutive breaching samples and clears
+    after [r_clear_ticks] consecutive healthy ones, which debounces
+    single-tick spikes in both directions. A tick on which the metric
+    is absent ([lookup] returns [None]) holds the rule's state
+    unchanged — absence of traffic is not evidence of health or
+    breach. *)
+
+type cmp = Above | Below
+
+type kind =
+  | Slo of { threshold : float; cmp : cmp }
+      (** breach when the sample is strictly beyond [threshold] *)
+  | Anomaly of { window : int; sigma : float; min_samples : int }
+      (** breach when the sample deviates from the rolling mean of the
+          last [window] samples by more than [sigma] effective standard
+          deviations; never breaches before [min_samples] history.
+          The effective σ has a floor of 1% of |mean| so a
+          near-constant history does not alert on noise. *)
+
+type rule = {
+  r_name : string;
+  r_metric : string;
+  r_kind : kind;
+  r_fire_ticks : int;
+  r_clear_ticks : int;
+  r_help : string;
+}
+
+type alert = {
+  a_rule : string;
+  a_metric : string;
+  a_value : float;  (** last sample observed for the rule *)
+  a_since : float;  (** tick time at which the rule fired *)
+  a_detail : string;  (** human-readable breach description *)
+}
+
+type event = Fired of alert | Cleared of alert
+
+val default_rules :
+  ?error_rate:float -> ?p99_ms:float -> ?rss_bytes:float -> unit -> rule list
+(** The serve daemon's rule set: SLO rules on [http.error_rate]
+    (default threshold 0.5), [http.latency_ms.compile.p99] (default
+    5000 ms) and [process.rss_bytes] (default 6 GiB), each firing
+    after 2 breaching ticks; anomaly rules (window 120, 6σ, 40-sample
+    warmup) on [fm.cache.hit_ratio], [machine.dram_per_request] and
+    [runtime.steal_rate]. Defaults are deliberately conservative: an
+    idle or lightly-loaded daemon must never fire. *)
+
+type t
+
+val create : rule list -> t
+
+val tick : t -> now:float -> lookup:(string -> float option) -> event list
+(** Evaluate every rule against the current samples; returns the
+    fire/clear transitions of this tick (usually none). *)
+
+val firing : t -> alert list
+(** Currently-firing alerts, ordered by rule declaration. *)
+
+val rules : t -> rule list

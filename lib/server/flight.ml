@@ -1,0 +1,249 @@
+(* Flight recorder (see flight.mli). *)
+
+open Json_util
+
+type cfg = {
+  fl_interval_s : float;
+  fl_dir : string option;
+  fl_tsdb : Tsdb.config;
+  fl_rules : Watchdog.rule list;
+}
+
+let default_cfg =
+  { fl_interval_s = 1.0;
+    fl_dir = None;
+    fl_tsdb = Tsdb.default_config;
+    fl_rules = Watchdog.default_rules ()
+  }
+
+type endpoint_digests = {
+  mutable ed_window : Digest.t;  (* resets every tick *)
+  ed_total : Digest.t;  (* backs /sketch *)
+}
+
+type t = {
+  cfg : cfg;
+  mu : Mutex.t;
+  tsdb : Tsdb.t;
+  dog : Watchdog.t;
+  gauges : unit -> (string * float) list;
+  endpoints : (string, endpoint_digests) Hashtbl.t;
+  mutable prev_counters : (string * int) list;
+  mutable events : (float * Watchdog.event) list;  (* newest first, bounded *)
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  mutable stopped : bool;
+}
+
+let max_events = 256
+
+let dir t = Tsdb.dir t.tsdb
+
+let observe_latency t ~endpoint ms =
+  Mutex.protect t.mu (fun () ->
+      let ed =
+        match Hashtbl.find_opt t.endpoints endpoint with
+        | Some ed -> ed
+        | None ->
+            let ed =
+              { ed_window = Digest.create (); ed_total = Digest.create () }
+            in
+            Hashtbl.add t.endpoints endpoint ed;
+            ed
+      in
+      Digest.add ed.ed_window ms;
+      Digest.add ed.ed_total ms)
+
+(* ------------------------------------------------------------------ *)
+(* The tick                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let alert_fields (a : Watchdog.alert) =
+  [ ("rule", Json.Str a.Watchdog.a_rule);
+    ("metric", Json.Str a.Watchdog.a_metric);
+    ("value", Json.Num a.Watchdog.a_value);
+    ("since", Json.Num a.Watchdog.a_since);
+    ("detail", Json.Str a.Watchdog.a_detail)
+  ]
+
+let tick_locked t ~now =
+  let put metric v = Tsdb.observe t.tsdb ~ts:now ~metric v in
+  (* the samples the watchdog judges this tick *)
+  let latest = Hashtbl.create 32 in
+  let sample metric v =
+    put metric v;
+    Hashtbl.replace latest metric v
+  in
+  (* counters: cumulative always, deltas only when they moved *)
+  let counters = Obs.counters_alist () in
+  let delta name v =
+    v
+    - (match List.assoc_opt name t.prev_counters with Some p -> p | None -> 0)
+  in
+  List.iter
+    (fun (name, v) ->
+      put ("counter." ^ name) (float_of_int v);
+      let d = delta name v in
+      if d <> 0 then sample ("delta." ^ name) (float_of_int d))
+    counters;
+  let d name = delta name (match List.assoc_opt name counters with Some v -> v | None -> 0) in
+  let ratio metric num den =
+    if den > 0 then sample metric (float_of_int num /. float_of_int den)
+  in
+  ratio "http.error_rate" (d "http.errors") (d "http.requests");
+  ratio "fm.cache.hit_ratio" (d "fm.cache.hit")
+    (d "fm.cache.hit" + d "fm.cache.miss");
+  ratio "machine.dram_per_request" (d "cache.dram") (d "pipeline.compile_requests");
+  ratio "runtime.steal_rate" (d "runtime.steals") (d "runtime.tiles");
+  t.prev_counters <- counters;
+  (* per-endpoint latency quantiles over the window just ended *)
+  Hashtbl.iter
+    (fun endpoint ed ->
+      if Digest.count ed.ed_window > 0 then begin
+        List.iter2
+          (fun suffix q ->
+            match Digest.quantile ed.ed_window q with
+            | Some v ->
+                sample (Printf.sprintf "http.latency_ms.%s.%s" endpoint suffix) v
+            | None -> ())
+          [ "p50"; "p95"; "p99" ] [ 0.5; 0.95; 0.99 ];
+        ed.ed_window <- Digest.create ()
+      end)
+    t.endpoints;
+  (* process gauges from the embedding server *)
+  List.iter (fun (name, v) -> sample name v) (t.gauges ());
+  (* watchdog: judge this tick's samples, record transitions *)
+  let events =
+    Watchdog.tick t.dog ~now ~lookup:(fun m -> Hashtbl.find_opt latest m)
+  in
+  List.iter
+    (fun ev ->
+      t.events <- (now, ev) :: t.events;
+      match ev with
+      | Watchdog.Fired a ->
+          Obs.count "watchdog.alerts_fired";
+          Log.warn ~cat:"watchdog" "alert.fired"
+            [ ("rule", S a.Watchdog.a_rule);
+              ("metric", S a.Watchdog.a_metric);
+              ("value", F a.Watchdog.a_value);
+              ("detail", S a.Watchdog.a_detail)
+            ]
+      | Watchdog.Cleared a ->
+          Log.info ~cat:"watchdog" "alert.cleared"
+            [ ("rule", S a.Watchdog.a_rule); ("metric", S a.Watchdog.a_metric) ])
+    events;
+  (if List.length t.events > max_events then
+     t.events <- List.filteri (fun i _ -> i < max_events) t.events);
+  put "watchdog.firing" (float_of_int (List.length (Watchdog.firing t.dog)));
+  Tsdb.compact t.tsdb ~now
+
+let tick t ~now = Mutex.protect t.mu (fun () -> tick_locked t ~now)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let loop t =
+  let next = ref (Unix.gettimeofday () +. t.cfg.fl_interval_s) in
+  while not (Atomic.get t.stop_flag) do
+    (try Unix.sleepf (Float.min 0.05 t.cfg.fl_interval_s)
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    let now = Unix.gettimeofday () in
+    if now >= !next && not (Atomic.get t.stop_flag) then begin
+      tick t ~now;
+      next := now +. t.cfg.fl_interval_s
+    end
+  done
+
+let start ?(gauges = fun () -> []) cfg =
+  let dir =
+    match cfg.fl_dir with
+    | Some d -> d
+    | None -> Filename.temp_dir "memcomp-flight-" ".tsdb"
+  in
+  match Tsdb.open_db ~config:cfg.fl_tsdb dir with
+  | Error e -> Error e
+  | Ok tsdb ->
+      let t =
+        { cfg;
+          mu = Mutex.create ();
+          tsdb;
+          dog = Watchdog.create cfg.fl_rules;
+          gauges;
+          endpoints = Hashtbl.create 8;
+          prev_counters = [];
+          events = [];
+          stop_flag = Atomic.make false;
+          domain = None;
+          stopped = false
+        }
+      in
+      t.domain <- Some (Domain.spawn (fun () -> loop t));
+      Ok t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    tick t ~now:(Unix.gettimeofday ());
+    Mutex.protect t.mu (fun () -> Tsdb.close t.tsdb)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries (served by the daemon's endpoints)                          *)
+(* ------------------------------------------------------------------ *)
+
+let firing t = Mutex.protect t.mu (fun () -> Watchdog.firing t.dog)
+
+let alerts_json t =
+  Mutex.protect t.mu (fun () ->
+      Json.Obj
+        [ ( "firing",
+            Json.Arr
+              (List.map
+                 (fun a -> Json.Obj (alert_fields a))
+                 (Watchdog.firing t.dog)) );
+          ( "history",
+            Json.Arr
+              (List.map
+                 (fun (ts, ev) ->
+                   let kind, a =
+                     match ev with
+                     | Watchdog.Fired a -> ("fired", a)
+                     | Watchdog.Cleared a -> ("cleared", a)
+                   in
+                   Json.Obj
+                     (("ts", Json.Num ts) :: ("event", Json.Str kind)
+                     :: alert_fields a))
+                 t.events) )
+        ])
+
+let sketch_json t endpoint =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.endpoints endpoint with
+      | None -> None
+      | Some ed ->
+          let dg = ed.ed_total in
+          let q p = match Digest.quantile dg p with Some v -> v | None -> 0. in
+          let opt = function Some v -> Json.Num v | None -> Json.Null in
+          Some
+            (Json.Obj
+               [ ("endpoint", Json.Str endpoint);
+                 ("count", Json.Num (float_of_int (Digest.count dg)));
+                 ("min", opt (Digest.minimum dg));
+                 ("max", opt (Digest.maximum dg));
+                 ("mean", opt (Digest.mean dg));
+                 ("p50", Json.Num (q 0.5));
+                 ("p90", Json.Num (q 0.9));
+                 ("p95", Json.Num (q 0.95));
+                 ("p99", Json.Num (q 0.99));
+                 ("rank_error", Json.Num (float_of_int (Digest.rank_error dg)));
+                 ("centroids", Json.Num (float_of_int (Digest.centroids dg)))
+               ]))
+
+let history t ~metric ?since ~res () =
+  Mutex.protect t.mu (fun () -> Tsdb.query t.tsdb ~metric ?since ~res ())
+
+let metric_names t = Mutex.protect t.mu (fun () -> Tsdb.metric_names t.tsdb)

@@ -1,0 +1,76 @@
+(** Flight recorder: the daemon's continuous self-scrape loop.
+
+    A dedicated domain samples the {!Obs} registries every
+    [fl_interval_s] seconds into an on-disk {!Tsdb} store and evaluates
+    the {!Watchdog} rules against the same samples. Per tick it
+    records:
+
+    - ["counter.<name>"]: every Obs counter, cumulative;
+    - ["delta.<name>"]: the counter's increase since the previous tick
+      (omitted when zero, so idle series stay compact); the first tick
+      records the full value, which keeps the invariant that the
+      delta-series sums equal the latest cumulative point;
+    - ["http.latency_ms.<endpoint>.p50/.p95/.p99"]: quantiles of the
+      per-endpoint latency {!Digest} over the last window (the window
+      digest resets each tick; a cumulative digest backs [/sketch]);
+    - gauges from the embedding server (RSS, uptime, in-flight) and
+      ["watchdog.firing"];
+    - derived ratios when their denominators moved:
+      ["http.error_rate"], ["fm.cache.hit_ratio"],
+      ["machine.dram_per_request"], ["runtime.steal_rate"].
+
+    The tick path never increments Obs counters — the daemon's
+    exact-scrape instrumentation contract survives with the recorder
+    running. The single exception is [watchdog.alerts_fired], bumped
+    only on a rule's fire transition (alerts also emit structured
+    {!Log} records). {!Tsdb.compact} runs every tick, so retention is
+    continuously enforced. *)
+
+type cfg = {
+  fl_interval_s : float;  (** seconds between ticks (default 1.0) *)
+  fl_dir : string option;
+      (** tsdb directory; [None] creates a fresh temporary directory *)
+  fl_tsdb : Tsdb.config;
+  fl_rules : Watchdog.rule list;
+}
+
+val default_cfg : cfg
+(** 1 s interval, temporary directory, {!Tsdb.default_config},
+    {!Watchdog.default_rules}. *)
+
+type t
+
+val start : ?gauges:(unit -> (string * float) list) -> cfg -> (t, string) result
+(** Open the store and launch the scrape domain. [gauges] supplies the
+    embedding process's gauge samples each tick. *)
+
+val stop : t -> unit
+(** Stop the scrape domain (joining it), run one final tick, close the
+    store. Idempotent. *)
+
+val observe_latency : t -> endpoint:string -> float -> unit
+(** Feed one request latency (ms) into the endpoint's window and
+    cumulative digests; called by the server's request handler. *)
+
+val tick : t -> now:float -> unit
+(** One scrape tick at an explicit clock — the domain loop's body,
+    exposed so tests can drive deterministic time. *)
+
+val firing : t -> Watchdog.alert list
+
+val alerts_json : t -> Json_util.Json.t
+(** The [/alerts] body: currently-firing alerts plus a bounded recent
+    fire/clear event history. *)
+
+val sketch_json : t -> string -> Json_util.Json.t option
+(** The [/sketch/<endpoint>] body: count, min/max/mean, p50/p90/p95/p99
+    and the certified {!Digest.rank_error} of the endpoint's cumulative
+    latency digest; [None] for an endpoint that served no request. *)
+
+val history :
+  t -> metric:string -> ?since:float -> res:Tsdb.res -> unit -> Tsdb.point list
+
+val metric_names : t -> string list
+
+val dir : t -> string
+(** The tsdb directory (for logs and tests). *)

@@ -4,10 +4,13 @@
      POST /compile         workload+flow+tile JSON -> generated code JSON
                            (flow "tuned" applies the tuning database)
      GET  /metrics         OpenMetrics exposition of the Obs registries
-     GET  /healthz         liveness probe
+     GET  /healthz         liveness probe (503 while the watchdog fires)
      GET  /buildinfo       version / toolchain / workload inventory
      GET  /trace/<req-id>  archived per-request Chrome trace
      GET  /tuned/<name>    stored tuning-database entries for a workload
+     GET  /history/<m>     flight-recorder time series (?since=&res=)
+     GET  /sketch/<ep>     cumulative latency-digest quantiles
+     GET  /alerts          firing watchdog rules + recent transitions
 
    Instrumentation contract (the bench load generator relies on it):
    the per-endpoint request counters (http.requests, http.<endpoint>)
@@ -28,6 +31,7 @@ type state = {
   inflight : int Atomic.t;
   req_counter : int Atomic.t;
   tune_db : Tune_db.t;  (* loaded once at startup; content-addressed *)
+  mutable flight : Flight.t option;  (* self-scrape loop, when enabled *)
 }
 
 type t = { st : state; httpd : Httpd.t }
@@ -147,7 +151,18 @@ let json_response ?(status = 200) fields =
 
 let error_response status msg = json_response ~status [ ("error", Json.Str msg) ]
 
-let handle_healthz () = Httpd.response "ok\n"
+(* 503 + the firing rules while any watchdog rule is active: a load
+   balancer or orchestrator sees SLO breaches without parsing metrics. *)
+let handle_healthz st =
+  match Option.map Flight.firing st.flight with
+  | None | Some [] -> Httpd.response "ok\n"
+  | Some alerts ->
+      json_response ~status:503
+        [ ("status", Json.Str "degraded");
+          ( "firing",
+            Json.Arr
+              (List.map (fun a -> Json.Str a.Watchdog.a_rule) alerts) )
+        ]
 
 let handle_buildinfo () =
   json_response
@@ -160,10 +175,22 @@ let handle_buildinfo () =
       ("workloads", Json.Num (float_of_int (List.length Registry.all)))
     ]
 
+let watchdog_families st =
+  match st.flight with
+  | None -> []
+  | Some fl ->
+      let open Openmetrics in
+      [ { fam_name = "memcomp_watchdog_firing";
+          fam_help = "Watchdog rules currently firing";
+          fam_type = Gauge;
+          fam_samples = [ ([], float_of_int (List.length (Flight.firing fl))) ]
+        }
+      ]
+
 let handle_metrics st =
   Httpd.response
     ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
-    (Openmetrics.render ~extra:(process_families st) ())
+    (Openmetrics.render ~extra:(process_families st @ watchdog_families st) ())
 
 (* Raw Obs counters as JSON — the load generator cross-checks the
    /metrics exposition against this (the daemon's internal truth). *)
@@ -195,6 +222,86 @@ let handle_tuned st path =
         [ ("workload", Json.Str name);
           ("entries", Json.Arr (List.map Tune_db.entry_to_json entries))
         ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder endpoints                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* "/history/x?since=1&res=raw" -> ("/history/x", [("since","1"); ("res","raw")]) *)
+let split_query path =
+  match String.index_opt path '?' with
+  | None -> (path, [])
+  | Some i ->
+      let p = String.sub path 0 i in
+      let q = String.sub path (i + 1) (String.length path - i - 1) in
+      let params =
+        String.split_on_char '&' q
+        |> List.filter_map (fun kv ->
+               if kv = "" then None
+               else
+                 match String.index_opt kv '=' with
+                 | None -> Some (kv, "")
+                 | Some j ->
+                     Some
+                       ( String.sub kv 0 j,
+                         String.sub kv (j + 1) (String.length kv - j - 1) ))
+      in
+      (p, params)
+
+let with_flight st f =
+  match st.flight with
+  | Some fl -> f fl
+  | None -> error_response 404 "flight recorder disabled"
+
+let handle_alerts st =
+  with_flight st (fun fl ->
+      Httpd.response ~content_type:"application/json"
+        (Json.to_string (Flight.alerts_json fl) ^ "\n"))
+
+let handle_sketch st path =
+  with_flight st (fun fl ->
+      let endpoint = String.sub path 8 (String.length path - 8) in
+      match Flight.sketch_json fl endpoint with
+      | Some j ->
+          Httpd.response ~content_type:"application/json" (Json.to_string j ^ "\n")
+      | None ->
+          error_response 404
+            (Printf.sprintf "no latency sketch for endpoint %S" endpoint))
+
+let handle_history st path params =
+  with_flight st (fun fl ->
+      let metric = String.sub path 9 (String.length path - 9) in
+      let since =
+        match List.assoc_opt "since" params with
+        | Some s -> float_of_string_opt s
+        | None -> Some neg_infinity
+      in
+      let res =
+        match List.assoc_opt "res" params with
+        | Some s -> Tsdb.res_of_string s
+        | None -> Some Tsdb.Auto
+      in
+      match (since, res) with
+      | None, _ -> error_response 400 "bad since= parameter (want a number)"
+      | _, None -> error_response 400 "bad res= parameter (want raw|10s|60s|auto)"
+      | Some since, Some res ->
+          let points = Flight.history fl ~metric ~since ~res () in
+          json_response
+            [ ("metric", Json.Str metric);
+              ("res", Json.Str (Tsdb.res_to_string res));
+              ( "points",
+                Json.Arr
+                  (List.map
+                     (fun (p : Tsdb.point) ->
+                       Json.Obj
+                         [ ("ts", Json.Num p.Tsdb.p_ts);
+                           ("count", Json.Num (float_of_int p.Tsdb.p_count));
+                           ("sum", Json.Num p.Tsdb.p_sum);
+                           ("min", Json.Num p.Tsdb.p_min);
+                           ("max", Json.Num p.Tsdb.p_max)
+                         ])
+                     points) )
+            ])
 
 let member_string key default body =
   match Json.member key body with
@@ -230,6 +337,8 @@ let handle_compile st (r : Httpd.request) =
     | Some f -> Ok f
     | None -> Error (Printf.sprintf "unknown flow %S" flow_name)
   in
+  (* validated flows only, so the counter-name space stays bounded *)
+  Obs.count ("http.compile.flow." ^ flow_name);
   let* entry =
     match List.find_opt (fun e -> e.Registry.reg_name = workload) Registry.all with
     | Some e -> Ok e
@@ -291,21 +400,25 @@ let handle_compile st (r : Httpd.request) =
 
 let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
-let endpoint_of (r : Httpd.request) =
-  match (r.meth, r.path) with
+let endpoint_of meth path =
+  match (meth, path) with
   | "POST", "/compile" -> "compile"
   | "GET", "/metrics" -> "metrics"
   | "GET", "/counters" -> "counters"
   | "GET", "/healthz" -> "healthz"
   | "GET", "/buildinfo" -> "buildinfo"
+  | "GET", "/alerts" -> "alerts"
   | "GET", p when has_prefix "/trace/" p -> "trace"
   | "GET", p when has_prefix "/tuned/" p -> "tuned"
+  | "GET", p when has_prefix "/history/" p -> "history"
+  | "GET", p when has_prefix "/sketch/" p -> "sketch"
   | _ -> "other"
 
 let handler st (r : Httpd.request) =
-  let endpoint = endpoint_of r in
+  let path, params = split_query r.path in
+  let endpoint = endpoint_of r.meth path in
   (* counters first (a /metrics scrape includes its own request),
-     latency observation after the handler *)
+     latency observation and the error counter after the handler *)
   Obs.count "http.requests";
   Obs.count ("http." ^ endpoint);
   let t0 = Unix.gettimeofday () in
@@ -314,17 +427,24 @@ let handler st (r : Httpd.request) =
     | "compile" -> handle_compile st r
     | "metrics" -> handle_metrics st
     | "counters" -> handle_counters ()
-    | "healthz" -> handle_healthz ()
+    | "healthz" -> handle_healthz st
     | "buildinfo" -> handle_buildinfo ()
-    | "trace" -> handle_trace r.path
-    | "tuned" -> handle_tuned st r.path
+    | "alerts" -> handle_alerts st
+    | "trace" -> handle_trace path
+    | "tuned" -> handle_tuned st path
+    | "history" -> handle_history st path params
+    | "sketch" -> handle_sketch st path
     | _ ->
         if r.meth <> "GET" && r.meth <> "POST" then
           error_response 405 (Printf.sprintf "method %s not allowed" r.meth)
         else error_response 404 (Printf.sprintf "no route for %s %s" r.meth r.path)
   in
+  if resp.Httpd.status >= 400 then Obs.count "http.errors";
   let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   Obs.observe ("http.latency_ms." ^ endpoint) ms;
+  (match st.flight with
+  | Some fl -> Flight.observe_latency fl ~endpoint ms
+  | None -> ());
   Log.debug ~cat:"http" "request"
     [ ("method", S r.meth); ("path", S r.path); ("status", I resp.Httpd.status);
       ("ms", F ms)
@@ -335,7 +455,7 @@ let handler st (r : Httpd.request) =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(port = 8080) ?(workers = 4) ?tune_db () =
+let create ?(port = 8080) ?(workers = 4) ?tune_db ?flight () =
   (* the daemon's whole point is live telemetry: recording is on *)
   Obs.reset ();
   Obs.enable ();
@@ -358,19 +478,44 @@ let create ?(port = 8080) ?(workers = 4) ?tune_db () =
     { started = Unix.gettimeofday ();
       inflight = Atomic.make 0;
       req_counter = Atomic.make 0;
-      tune_db
+      tune_db;
+      flight = None
     }
   in
+  (match flight with
+  | None -> ()
+  | Some cfg -> (
+      let gauges () =
+        [ ("process.rss_bytes", float_of_int (rss_bytes ()));
+          ("process.uptime_s", Unix.gettimeofday () -. st.started);
+          ("process.inflight", float_of_int (Atomic.get st.inflight))
+        ]
+      in
+      match Flight.start ~gauges cfg with
+      | Ok fl ->
+          st.flight <- Some fl;
+          Log.info ~cat:"server" "flight.started"
+            [ ("dir", S (Flight.dir fl));
+              ("interval_s", F cfg.Flight.fl_interval_s)
+            ]
+      | Error msg ->
+          (* an unopenable tsdb must not take the daemon down *)
+          Log.warn ~cat:"server" "flight.unavailable" [ ("error", S msg) ]));
   { st; httpd = Httpd.start ~workers ~port (fun r -> handler st r) }
 
-let stop t = Httpd.stop t.httpd
+let flight t = t.st.flight
 
-let run ?(port = 8080) ?(workers = 4) ?tune_db () =
+let stop t =
+  Httpd.stop t.httpd;
+  match t.st.flight with Some fl -> Flight.stop fl | None -> ()
+
+let run ?(port = 8080) ?(workers = 4) ?tune_db ?(flight = Flight.default_cfg)
+    () =
   let stop_requested = Atomic.make false in
   let on_signal _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  let t = create ~port ~workers ?tune_db () in
+  let t = create ~port ~workers ?tune_db ~flight () in
   Log.info ~cat:"server" "listening"
     [ ("port", I (Httpd.port t.httpd)); ("workers", I workers) ];
   Printf.printf "memcomp serve: listening on 127.0.0.1:%d (%d workers)\n%!"

@@ -16,9 +16,17 @@
       flight) and per-endpoint latency histograms.
     - [GET /counters] — raw Obs counters as JSON (the internal truth
       the load generator cross-checks /metrics against).
-    - [GET /healthz], [GET /buildinfo]
+    - [GET /healthz] — liveness probe; 503 with the firing rule names
+      while any {!Watchdog} rule is active.
+    - [GET /buildinfo]
     - [GET /trace/<req-id>] — archived merged Chrome trace of that
       compile request.
+    - [GET /history/<metric>?since=&res=] — flight-recorder time
+      series ([res] one of [raw|10s|60s|auto]).
+    - [GET /sketch/<endpoint>] — cumulative latency-digest quantiles
+      with their certified rank-error bound.
+    - [GET /alerts] — firing watchdog alerts plus recent fire/clear
+      transitions.
 
     Instrumentation contract: per-endpoint request counters increment
     on arrival (a /metrics scrape includes its own request); latency
@@ -29,18 +37,28 @@
 
 type t
 
-val create : ?port:int -> ?workers:int -> ?tune_db:string -> unit -> t
+val create :
+  ?port:int -> ?workers:int -> ?tune_db:string -> ?flight:Flight.cfg ->
+  unit -> t
 (** Enable Obs recording and start serving on loopback [port] (default
     8080; 0 picks a free port) with [workers] worker domains (default
     4). [tune_db] is the tuning-database file backing the ["tuned"]
     flow and [/tuned/<workload>]; an unreadable database logs a
-    warning and serves as empty. Returns immediately; use from tests
-    or embedders. *)
+    warning and serves as empty. [flight] enables the flight recorder
+    (off by default here; [run] turns it on) — an unopenable tsdb logs
+    a warning and serves without it. Returns immediately; use from
+    tests or embedders. *)
 
 val port : t -> int
 
+val flight : t -> Flight.t option
+(** The running flight recorder, when enabled. *)
+
 val stop : t -> unit
 
-val run : ?port:int -> ?workers:int -> ?tune_db:string -> unit -> unit
-(** [create], then block until SIGTERM or SIGINT, then [stop]. The CLI
-    entry point ([memcomp serve]). *)
+val run :
+  ?port:int -> ?workers:int -> ?tune_db:string -> ?flight:Flight.cfg ->
+  unit -> unit
+(** [create] with the flight recorder on (default
+    {!Flight.default_cfg}), then block until SIGTERM or SIGINT, then
+    [stop]. The CLI entry point ([memcomp serve]). *)

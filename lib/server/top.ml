@@ -1,0 +1,265 @@
+(* Live dashboard over the serve daemon's public endpoints (see
+   top.mli). *)
+
+open Json_util
+
+type snapshot = {
+  sn_port : int;
+  sn_counters : (string * float) list;
+  sn_gauges : (string * float) list;  (* full exposition names *)
+  sn_firing : (string * string) list;  (* rule, detail *)
+  sn_req_deltas : float list;  (* delta.http.requests, oldest first *)
+  sn_req_span_s : float;  (* wall span covered by sn_req_deltas *)
+  sn_latency : (string * float list) list;  (* quantile metric -> series *)
+  sn_sketch : Json.t option;  (* /sketch/compile, when compiles happened *)
+}
+
+let fetch ~port path =
+  match Httpd.request ~port path with
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) -> Error (Printf.sprintf "GET %s: status %d" path status)
+  | Error e -> Error (Printf.sprintf "GET %s: %s" path e)
+
+let fetch_json ~port path =
+  match fetch ~port path with
+  | Error e -> Error e
+  | Ok body -> (
+      match Json.parse body with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "GET %s: bad JSON: %s" path e))
+
+let points_of_history j =
+  match Json.member "points" j with
+  | Some (Json.Arr ps) ->
+      List.filter_map
+        (fun p ->
+          match (Json.member "ts" p, Json.member "sum" p) with
+          | Some (Json.Num ts), Some (Json.Num sum) -> Some (ts, sum)
+          | _ -> None)
+        ps
+  | _ -> []
+
+(* tail of a series: the dashboard shows recent behaviour *)
+let last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let width = 48
+
+let snapshot ~port =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* counters_j = fetch_json ~port "/counters" in
+  let counters =
+    match counters_j with
+    | Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
+          kvs
+    | _ -> []
+  in
+  let* metrics = fetch ~port "/metrics" in
+  let gauges = Openmetrics.parse_gauges metrics in
+  (* flight-recorder endpoints may be disabled: degrade, don't fail *)
+  let firing =
+    match fetch_json ~port "/alerts" with
+    | Ok j -> (
+        match Json.member "firing" j with
+        | Some (Json.Arr al) ->
+            List.filter_map
+              (fun a ->
+                match (Json.member "rule" a, Json.member "detail" a) with
+                | Some (Json.Str r), Some (Json.Str d) -> Some (r, d)
+                | _ -> None)
+              al
+        | _ -> [])
+    | Error _ -> []
+  in
+  let history metric =
+    (* auto: the full retention-compacted series, oldest data coarsest *)
+    match fetch_json ~port ("/history/" ^ metric ^ "?res=auto") with
+    | Ok j -> last width (points_of_history j)
+    | Error _ -> []
+  in
+  let req = history "delta.http.requests" in
+  let span =
+    match (req, List.rev req) with
+    | (t0, _) :: _, (t1, _) :: _ when t1 > t0 -> t1 -. t0
+    | _ -> 0.
+  in
+  let latency =
+    List.filter_map
+      (fun q ->
+        let metric = "http.latency_ms.compile." ^ q in
+        match history metric with
+        | [] -> None
+        | pts -> Some (q, List.map snd pts))
+      [ "p50"; "p95"; "p99" ]
+  in
+  let sketch =
+    match fetch_json ~port "/sketch/compile" with Ok j -> Some j | Error _ -> None
+  in
+  Ok
+    { sn_port = port;
+      sn_counters = counters;
+      sn_gauges = gauges;
+      sn_firing = firing;
+      sn_req_deltas = List.map snd req;
+      sn_req_span_s = span;
+      sn_latency = latency;
+      sn_sketch = sketch
+    }
+
+(* --------------------------------------------------------------- *)
+(* Rendering                                                        *)
+(* --------------------------------------------------------------- *)
+
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline vs =
+  match vs with
+  | [] -> ""
+  | vs ->
+      let lo = List.fold_left Float.min infinity vs in
+      let hi = List.fold_left Float.max neg_infinity vs in
+      let b = Buffer.create (List.length vs * 3) in
+      List.iter
+        (fun v ->
+          let i =
+            if hi <= lo then 0
+            else
+              min (Array.length blocks - 1)
+                (int_of_float ((v -. lo) /. (hi -. lo) *. 7.99))
+          in
+          Buffer.add_string b blocks.(i))
+        vs;
+      Buffer.contents b
+
+let counter sn name =
+  match List.assoc_opt name sn.sn_counters with Some v -> v | None -> 0.
+
+let gauge sn name = List.assoc_opt name sn.sn_gauges
+
+let human_bytes v =
+  if v >= 1073741824. then Printf.sprintf "%.1f GiB" (v /. 1073741824.)
+  else if v >= 1048576. then Printf.sprintf "%.1f MiB" (v /. 1048576.)
+  else Printf.sprintf "%.0f KiB" (v /. 1024.)
+
+let flow_mix sn =
+  let prefix = "http.compile.flow." in
+  let n = String.length prefix in
+  List.filter_map
+    (fun (k, v) ->
+      if String.length k > n && String.sub k 0 n = prefix then
+        Some (String.sub k n (String.length k - n), v)
+      else None)
+    sn.sn_counters
+
+let render sn =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let requests = counter sn "http.requests" in
+  let errors = counter sn "http.errors" in
+  let rate =
+    if sn.sn_req_span_s > 0. then
+      List.fold_left ( +. ) 0. sn.sn_req_deltas /. sn.sn_req_span_s
+    else 0.
+  in
+  let uptime =
+    match gauge sn "memcomp_uptime_seconds" with Some v -> v | None -> 0.
+  in
+  let rss =
+    match gauge sn "memcomp_process_resident_bytes" with Some v -> v | None -> 0.
+  in
+  let inflight =
+    match gauge sn "memcomp_jobs_in_flight" with Some v -> v | None -> 0.
+  in
+  let hit = counter sn "fm.cache.hit" and miss = counter sn "fm.cache.miss" in
+  line "memcomp top — 127.0.0.1:%d   uptime %.0fs   rss %s   inflight %.0f"
+    sn.sn_port uptime (human_bytes rss) inflight;
+  line "requests %.0f (%.1f req/s)   errors %.0f (%.1f%%)   cache hit %s"
+    requests rate errors
+    (if requests > 0. then 100. *. errors /. requests else 0.)
+    (if hit +. miss > 0. then
+       Printf.sprintf "%.1f%%" (100. *. hit /. (hit +. miss))
+     else "n/a");
+  if sn.sn_req_deltas <> [] then
+    line "req/tick  %s  last %.0f" (sparkline sn.sn_req_deltas)
+      (List.nth sn.sn_req_deltas (List.length sn.sn_req_deltas - 1));
+  List.iter
+    (fun (q, vs) ->
+      line "%-4s ms   %s  last %.2f" q (sparkline vs)
+        (List.nth vs (List.length vs - 1)))
+    sn.sn_latency;
+  (match flow_mix sn with
+  | [] -> ()
+  | mix ->
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. mix in
+      line "flows     %s"
+        (String.concat "  "
+           (List.map
+              (fun (f, v) -> Printf.sprintf "%s %.0f%%" f (100. *. v /. total))
+              mix)));
+  (match sn.sn_firing with
+  | [] -> line "watchdog  ok"
+  | firing ->
+      line "watchdog  %d FIRING" (List.length firing);
+      List.iter (fun (r, d) -> line "  ! %-24s %s" r d) firing);
+  Buffer.contents b
+
+let render_json sn =
+  let num_obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
+  Json.Obj
+    [ ("port", Json.Num (float_of_int sn.sn_port));
+      ("counters", num_obj sn.sn_counters);
+      ("gauges", num_obj sn.sn_gauges);
+      ( "req_per_s",
+        Json.Num
+          (if sn.sn_req_span_s > 0. then
+             List.fold_left ( +. ) 0. sn.sn_req_deltas /. sn.sn_req_span_s
+           else 0.) );
+      ( "latency",
+        Json.Obj
+          (List.map
+             (fun (q, vs) -> (q, Json.Arr (List.map (fun v -> Json.Num v) vs)))
+             sn.sn_latency) );
+      ("flows", num_obj (flow_mix sn));
+      ( "firing",
+        Json.Arr
+          (List.map
+             (fun (r, d) ->
+               Json.Obj [ ("rule", Json.Str r); ("detail", Json.Str d) ])
+             sn.sn_firing) );
+      ( "sketch_compile",
+        match sn.sn_sketch with Some j -> j | None -> Json.Null )
+    ]
+
+let run ~port ~interval ~once ~json =
+  if once then
+    match snapshot ~port with
+    | Error e ->
+        Printf.eprintf "memcomp top: %s\n%!" e;
+        1
+    | Ok sn ->
+        if json then print_endline (Json.to_string (render_json sn))
+        else print_string (render sn);
+        0
+  else begin
+    (* live loop until interrupted; a transient fetch error (daemon
+       restarting) shows in place of the frame instead of exiting *)
+    let continue = ref true in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> continue := false));
+    while !continue do
+      let frame =
+        match snapshot ~port with
+        | Ok sn -> render sn
+        | Error e -> Printf.sprintf "memcomp top: %s (retrying)\n" e
+      in
+      print_string ("\x1b[2J\x1b[H" ^ frame);
+      flush stdout;
+      try Unix.sleepf interval with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    print_newline ();
+    0
+  end

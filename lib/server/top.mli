@@ -1,0 +1,31 @@
+(** [memcomp top]: live terminal dashboard over a running serve
+    daemon, built from the daemon's own public endpoints ([/counters],
+    [/metrics], [/alerts], [/history], [/sketch]) — no private
+    channel, so anything the dashboard shows is scriptable too.
+
+    Renders request throughput and per-tick latency-quantile
+    sparklines (from the flight recorder's [/history] series), the
+    compile-flow request mix, cache hit ratio, process gauges and any
+    firing watchdog alerts. [--once] prints a single frame and exits;
+    [--once --json] emits one machine-readable JSON document. *)
+
+type snapshot
+
+val snapshot : port:int -> (snapshot, string) result
+(** Poll the daemon once. [Error] when it is unreachable or answers
+    with a non-200 status. *)
+
+val sparkline : float list -> string
+(** Unicode block-element sparkline (min..max scaled); [""] on empty
+    input. Exposed for tests. *)
+
+val render : snapshot -> string
+(** One plain-text dashboard frame (no cursor control). *)
+
+val render_json : snapshot -> Json_util.Json.t
+
+val run : port:int -> interval:float -> once:bool -> json:bool -> int
+(** Drive the dashboard: a single frame ([once]) or a live loop
+    (clearing the screen between frames, until interrupted). Returns
+    the process exit code — 1 when [once] and the daemon is
+    unreachable. *)

@@ -1,0 +1,225 @@
+(* Tests for the streaming quantile sketch (lib/obs/digest): exactness
+   below capacity, the certified rank-error bound against a
+   sorted-array ground truth, merge equivalence, quantile
+   monotonicity, and agreement of the shared trimmed-mean with the
+   sort-based formula bench/main.ml used before it was deduplicated
+   into Digest. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let epsilon = Alcotest.float 1e-9
+
+(* deterministic pseudo-random stream (no Random dependence on seed
+   behaviour across OCaml versions) *)
+let lcg state =
+  let state = Int64.add (Int64.mul 6364136223846793005L state) 1442695040888963407L in
+  let bits = Int64.to_int (Int64.shift_right_logical state 17) land 0x3FFFFFFF in
+  (state, float_of_int bits /. float_of_int 0x3FFFFFFF)
+
+let stream ?(seed = 42L) n f =
+  let rec go st i acc =
+    if i = n then List.rev acc
+    else
+      let st, u = lcg st in
+      go st (i + 1) (f u :: acc)
+  in
+  go seed 0 []
+
+(* ground truth: 0-based real rank q*(n-1) with linear interpolation,
+   the same convention Digest.quantile targets *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let r = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor r) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = r -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+(* rank of value v in the sorted array: how many elements are < v and
+   how many are <= v; the digest's answer for quantile q must land
+   within rank_error of the real rank q*(n-1) *)
+let rank_bounds sorted v =
+  let below = Array.fold_left (fun a x -> if x < v then a + 1 else a) 0 sorted in
+  let at_or_below =
+    Array.fold_left (fun a x -> if x <= v then a + 1 else a) 0 sorted
+  in
+  (below, at_or_below)
+
+let test_exact_small () =
+  (* n <= capacity: every quantile matches the sorted array exactly *)
+  let xs = stream 100 (fun u -> (u *. 50.) -. 10.) in
+  let d = Digest.of_list ~capacity:128 xs in
+  check int "rank error zero while exact" 0 (Digest.rank_error d);
+  let sorted = Array.of_list (List.sort compare xs) in
+  List.iter
+    (fun q ->
+      match Digest.quantile d q with
+      | None -> Alcotest.fail "quantile on non-empty digest"
+      | Some v ->
+          check epsilon
+            (Printf.sprintf "q=%g exact below capacity" q)
+            (exact_quantile sorted q) v)
+    [ 0.; 0.01; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ]
+
+let test_rank_error_bound () =
+  (* n >> capacity: the digest's value for q must sit within
+     rank_error ranks of the true rank, for several distributions *)
+  let distributions =
+    [ ("uniform", fun u -> u *. 1000.);
+      ("squared", fun u -> u *. u *. 1000.);
+      ("heavy-tail", fun u -> 1. /. (0.001 +. (1. -. u)));
+      ("bimodal", fun u -> if u < 0.5 then u else 100. +. u)
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let xs = stream 5000 f in
+      let d = Digest.of_list ~capacity:64 xs in
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      let err = Digest.rank_error d in
+      check bool (name ^ ": rank error bounded") true
+        (err <= 2 * n / 63 * 4 && err >= 0);
+      List.iter
+        (fun q ->
+          match Digest.quantile d q with
+          | None -> Alcotest.fail "quantile on non-empty digest"
+          | Some v ->
+              let target = q *. float_of_int (n - 1) in
+              let below, at_or_below = rank_bounds sorted v in
+              (* v's plausible real ranks span [below, at_or_below];
+                 that interval must come within err of the target *)
+              let dist =
+                if target < float_of_int below then
+                  float_of_int below -. target
+                else if target > float_of_int at_or_below then
+                  target -. float_of_int at_or_below
+                else 0.
+              in
+              check bool
+                (Printf.sprintf "%s q=%g within certified bound (dist %.1f, err %d)"
+                   name q dist err)
+                true
+                (dist <= float_of_int err +. 1.))
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99 ])
+    distributions
+
+let test_extremes_and_moments () =
+  let xs = stream 3000 (fun u -> (u *. 200.) -. 100.) in
+  let d = Digest.of_list ~capacity:32 xs in
+  let sorted = List.sort compare xs in
+  let mn = List.hd sorted and mx = List.nth sorted (List.length xs - 1) in
+  check epsilon "minimum exact" mn
+    (Option.value ~default:nan (Digest.minimum d));
+  check epsilon "maximum exact" mx
+    (Option.value ~default:nan (Digest.maximum d));
+  check epsilon "q=0 is min" mn
+    (match Digest.quantile d 0. with Some v -> v | None -> nan);
+  check epsilon "q=1 is max" mx
+    (match Digest.quantile d 1. with Some v -> v | None -> nan);
+  let sum = List.fold_left ( +. ) 0. xs in
+  check (Alcotest.float 1e-6) "sum exact" sum (Digest.sum d);
+  check int "count exact" (List.length xs) (Digest.count d)
+
+let test_monotone () =
+  let xs = stream 4000 (fun u -> u *. u *. u *. 1e6) in
+  let d = Digest.of_list ~capacity:48 xs in
+  let qs = List.init 101 (fun i -> float_of_int i /. 100.) in
+  let vs = List.map (fun q -> Option.get (Digest.quantile d q)) qs in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check bool "quantiles monotone in q" true (mono vs)
+
+let test_merge () =
+  (* merging shards must see every point and keep exact moments;
+     quantiles of the merge must respect its own rank_error bound *)
+  let a = stream ~seed:1L 2000 (fun u -> u *. 10.) in
+  let b = stream ~seed:2L 1500 (fun u -> 5. +. (u *. 10.)) in
+  let d = Digest.merge (Digest.of_list ~capacity:64 a) (Digest.of_list ~capacity:64 b) in
+  let all = a @ b in
+  check int "merged count" (List.length all) (Digest.count d);
+  check (Alcotest.float 1e-6) "merged sum" (List.fold_left ( +. ) 0. all)
+    (Digest.sum d);
+  let sorted = Array.of_list (List.sort compare all) in
+  let n = Array.length sorted in
+  let err = Digest.rank_error d in
+  List.iter
+    (fun q ->
+      let v = Option.get (Digest.quantile d q) in
+      let target = q *. float_of_int (n - 1) in
+      let below, at_or_below = rank_bounds sorted v in
+      let dist =
+        if target < float_of_int below then float_of_int below -. target
+        else if target > float_of_int at_or_below then
+          target -. float_of_int at_or_below
+        else 0.
+      in
+      check bool
+        (Printf.sprintf "merged q=%g within bound" q)
+        true
+        (dist <= float_of_int err +. 1.))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_trimmed_mean_matches_sort_formula () =
+  (* the formula bench/main.ml used before delegating to Digest *)
+  let sort_based xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | [ x ] -> x
+    | [ x; y ] -> (x +. y) /. 2.0
+    | sorted ->
+        let n = List.length sorted in
+        let trimmed = List.filteri (fun i _ -> i > 0 && i < n - 1) sorted in
+        List.fold_left ( +. ) 0.0 trimmed /. float_of_int (n - 2)
+  in
+  List.iter
+    (fun xs ->
+      check (Alcotest.float 1e-9) "trimmed mean agrees with sort formula"
+        (sort_based xs)
+        (Digest.trimmed_mean (Digest.of_list xs)))
+    [ [];
+      [ 5. ];
+      [ 3.; 9. ];
+      [ 1.; 2.; 3. ];
+      [ 10.; -5.; 3.; 3.; 100. ];
+      stream 500 (fun u -> (u *. 40.) -. 20.)
+    ]
+
+let test_edge_cases () =
+  let d = Digest.create () in
+  check bool "empty quantile" true (Digest.quantile d 0.5 = None);
+  check epsilon "empty trimmed mean" 0. (Digest.trimmed_mean d);
+  Digest.add d Float.nan;
+  Digest.add d Float.infinity;
+  check int "non-finite values ignored" 0 (Digest.count d);
+  Digest.add d 7.;
+  check epsilon "singleton quantile" 7.
+    (Option.get (Digest.quantile d 0.25));
+  (* constant stream past capacity stays exact *)
+  let c = Digest.of_list ~capacity:8 (List.init 1000 (fun _ -> 3.5)) in
+  check epsilon "constant stream q=0.5" 3.5 (Option.get (Digest.quantile c 0.5));
+  check int "constant stream rank error" 0 (Digest.rank_error c)
+
+let () =
+  Harness.run "digest"
+    [ ( "exactness",
+        [ Alcotest.test_case "exact below capacity" `Quick test_exact_small;
+          Alcotest.test_case "extremes and moments" `Quick
+            test_extremes_and_moments;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases
+        ] );
+      ( "bounds",
+        [ Alcotest.test_case "rank-error bound vs sorted array" `Quick
+            test_rank_error_bound;
+          Alcotest.test_case "quantile monotonicity" `Quick test_monotone
+        ] );
+      ( "compose",
+        [ Alcotest.test_case "merge keeps moments and bound" `Quick test_merge;
+          Alcotest.test_case "trimmed mean matches bench formula" `Quick
+            test_trimmed_mean_matches_sort_formula
+        ] )
+    ]

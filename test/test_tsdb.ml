@@ -1,0 +1,229 @@
+(* Tests for the on-disk time-series store (lib/obs/tsdb): durability
+   across a kill-and-reopen with a torn final line, exact conservation
+   of counts and sums through retention downsampling, the ring bound
+   on the coarse level, schema refusal, and the label-escaping
+   round-trip shared with the OpenMetrics exposition rules. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let with_db ?config f =
+  let dir = Filename.temp_dir "memcomp-tsdb-test-" "" in
+  let db =
+    match Tsdb.open_db ?config dir with
+    | Ok db -> db
+    | Error e -> Alcotest.failf "open_db: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Tsdb.close db) (fun () -> f dir db)
+
+let total_count pts = List.fold_left (fun a p -> a + p.Tsdb.p_count) 0 pts
+let total_sum pts = List.fold_left (fun a p -> a +. p.Tsdb.p_sum) 0. pts
+
+let small_cfg =
+  { Tsdb.seg_points = 8; ret_raw_s = 100.; ret_mid_s = 1000.;
+    max_coarse_segments = 3 }
+
+let test_roundtrip () =
+  with_db (fun _dir db ->
+      Tsdb.observe db ~ts:10. ~metric:"m" 1.5;
+      Tsdb.observe db ~ts:11. ~metric:"m" ~labels:[ ("k", "v") ] 2.5;
+      Tsdb.observe db ~ts:12. ~metric:"other" 9.;
+      let pts = Tsdb.query db ~metric:"m" ~res:Tsdb.Raw () in
+      check int "two points" 2 (List.length pts);
+      check (Alcotest.float 1e-9) "sum" 4.0 (total_sum pts);
+      let labelled =
+        Tsdb.query db ~metric:"m" ~labels:[ ("k", "v") ] ~res:Tsdb.Raw ()
+      in
+      check int "label filter" 1 (List.length labelled);
+      let since = Tsdb.query db ~metric:"m" ~since:10.5 ~res:Tsdb.Raw () in
+      check int "since filter" 1 (List.length since);
+      check bool "metric names" true
+        (Tsdb.metric_names db = [ "m"; "other" ]))
+
+let test_kill_and_reopen_mid_append () =
+  let dir = Filename.temp_dir "memcomp-tsdb-test-" "" in
+  (* first incarnation: write points, then die without close *)
+  (match Tsdb.open_db ~config:small_cfg dir with
+  | Error e -> Alcotest.failf "open_db: %s" e
+  | Ok db ->
+      for i = 0 to 19 do
+        Tsdb.observe db ~ts:(float_of_int i) ~metric:"m" 1.
+      done
+      (* no close: simulate SIGKILL; every line was flushed *));
+  (* corrupt the tail of the newest raw segment, as a crash mid-write
+     would: a torn, unterminated half line *)
+  let segs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "seg-0-")
+    |> List.sort compare
+  in
+  check bool "rotation produced several segments" true (List.length segs >= 2);
+  let newest = Filename.concat dir (List.nth segs (List.length segs - 1)) in
+  let oc = open_out_gen [ Open_append ] 0o644 newest in
+  output_string oc "{\"ts\":99,\"m\":\"m\",\"c\":1,\"s\":1";
+  close_out oc;
+  (* second incarnation: recovery must drop exactly the torn line *)
+  (match Tsdb.open_db ~config:small_cfg dir with
+  | Error e -> Alcotest.failf "reopen: %s" e
+  | Ok db ->
+      let pts = Tsdb.query db ~metric:"m" ~res:Tsdb.Raw () in
+      check int "all complete points survive" 20 (total_count pts);
+      (* and the store still appends cleanly after recovery *)
+      Tsdb.observe db ~ts:20. ~metric:"m" 1.;
+      let pts = Tsdb.query db ~metric:"m" ~res:Tsdb.Raw () in
+      check int "append after recovery" 21 (total_count pts);
+      Tsdb.close db);
+  (* third incarnation sees the post-recovery append too *)
+  match Tsdb.open_db ~config:small_cfg dir with
+  | Error e -> Alcotest.failf "third open: %s" e
+  | Ok db ->
+      check int "durable across clean close" 21
+        (total_count (Tsdb.query db ~metric:"m" ~res:Tsdb.Raw ()));
+      Tsdb.close db
+
+let test_downsampling_conserves () =
+  (* ample ring bound: this test measures downsampling, not deletion *)
+  let cfg = { small_cfg with Tsdb.max_coarse_segments = 1000 } in
+  with_db ~config:cfg (fun _dir db ->
+      (* 200 points over 200s with varying values and two label sets *)
+      let expected_sum = ref 0. in
+      for i = 0 to 199 do
+        let v = float_of_int (i mod 17) +. 0.25 in
+        expected_sum := !expected_sum +. v;
+        let labels = if i mod 2 = 0 then [ ("shard", "a") ] else [] in
+        Tsdb.observe db ~ts:(float_of_int i) ~metric:"m" ~labels v
+      done;
+      let before = Tsdb.query db ~metric:"m" ~res:Tsdb.Auto () in
+      check int "all points visible pre-compaction" 200 (total_count before);
+      (* age everything past both retention horizons *)
+      Tsdb.compact db ~now:5000.;
+      Tsdb.compact db ~now:5000.;
+      let after = Tsdb.query db ~metric:"m" ~res:Tsdb.Auto () in
+      check int "count conserved through downsampling" 200 (total_count after);
+      check (Alcotest.float 1e-6) "sum conserved through downsampling"
+        !expected_sum (total_sum after);
+      (* raw level fully drained; points moved, not copied *)
+      check int "raw drained" 0
+        (total_count (Tsdb.query db ~metric:"m" ~res:Tsdb.Raw ()));
+      (* per-label-set series is conserved independently *)
+      let shard_a =
+        Tsdb.query db ~metric:"m" ~labels:[ ("shard", "a") ] ~res:Tsdb.Auto ()
+      in
+      check int "labelled sub-series conserved" 100 (total_count shard_a);
+      (* bucket invariants: 60s-aligned starts, min <= mean <= max *)
+      List.iter
+        (fun p ->
+          check bool "bucket aligned" true
+            (Float.rem p.Tsdb.p_ts 60. = 0. || p.Tsdb.p_count = 0);
+          check bool "min/max bracket mean" true
+            (p.Tsdb.p_min <= (p.Tsdb.p_sum /. float_of_int p.Tsdb.p_count)
+            && (p.Tsdb.p_sum /. float_of_int p.Tsdb.p_count) <= p.Tsdb.p_max))
+        (Tsdb.query db ~metric:"m" ~res:Tsdb.R60 ());
+      (* timestamps stay sorted across the level union *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a.Tsdb.p_ts <= b.Tsdb.p_ts && sorted rest
+        | _ -> true
+      in
+      check bool "auto query sorted" true (sorted after))
+
+let test_ring_bound () =
+  with_db ~config:small_cfg (fun dir db ->
+      (* enough distinct 60s buckets to overflow max_coarse_segments *)
+      for i = 0 to 999 do
+        Tsdb.observe db ~ts:(float_of_int i *. 30.) ~metric:"m" 1.
+      done;
+      Tsdb.compact db ~now:1e6;
+      Tsdb.compact db ~now:1e6;
+      let coarse =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 6 && String.sub f 0 6 = "seg-2-")
+      in
+      check bool "coarse level ring-bounded" true
+        (List.length coarse <= small_cfg.Tsdb.max_coarse_segments);
+      (* oldest data was deleted, newest survives *)
+      let pts = Tsdb.query db ~metric:"m" ~res:Tsdb.Auto () in
+      check bool "some history retained" true (pts <> []);
+      check bool "history is the newest tail" true
+        (total_count pts < 1000
+        && (List.nth pts (List.length pts - 1)).Tsdb.p_ts
+           >= (List.hd pts).Tsdb.p_ts))
+
+let test_schema_refusal () =
+  let dir = Filename.temp_dir "memcomp-tsdb-test-" "" in
+  let oc = open_out (Filename.concat dir "meta.json") in
+  output_string oc "{\"schema\":99}\n";
+  close_out oc;
+  match Tsdb.open_db dir with
+  | Ok _ -> Alcotest.fail "opened a store with an unknown schema"
+  | Error e ->
+      check bool "error names the schema" true
+        (String.length e > 0
+        &&
+        let lower = String.lowercase_ascii e in
+        let rec contains i =
+          i + 6 <= String.length lower
+          && (String.sub lower i 6 = "schema" || contains (i + 1))
+        in
+        contains 0)
+
+let test_label_escaping_roundtrip () =
+  (* the exposition escaping rules and the tsdb must agree: a label
+     value survives escape -> unescape unchanged, and a labelled point
+     written to the store comes back with its exact label value *)
+  let awkward =
+    [ "plain";
+      "with \"quotes\"";
+      "back\\slash";
+      "new\nline";
+      "mix\\\"of\nall\\";
+      ""
+    ]
+  in
+  List.iter
+    (fun v ->
+      check string
+        (Printf.sprintf "escape/unescape round-trip %S" v)
+        v
+        (Openmetrics.unescape_label (Openmetrics.escape_label v)))
+    awkward;
+  with_db (fun _dir db ->
+      List.iteri
+        (fun i v ->
+          Tsdb.observe db ~ts:(float_of_int i) ~metric:"m"
+            ~labels:[ ("val", v) ]
+            1.)
+        awkward;
+      List.iter
+        (fun v ->
+          let pts =
+            Tsdb.query db ~metric:"m" ~labels:[ ("val", v) ] ~res:Tsdb.Raw ()
+          in
+          check int
+            (Printf.sprintf "label value %S round-trips through disk" v)
+            1 (List.length pts))
+        awkward)
+
+let () =
+  Harness.run "tsdb"
+    [ ( "basics",
+        [ Alcotest.test_case "observe and query" `Quick test_roundtrip;
+          Alcotest.test_case "schema refusal" `Quick test_schema_refusal
+        ] );
+      ( "durability",
+        [ Alcotest.test_case "kill and reopen mid-append" `Quick
+            test_kill_and_reopen_mid_append
+        ] );
+      ( "retention",
+        [ Alcotest.test_case "downsampling conserves count and sum" `Quick
+            test_downsampling_conserves;
+          Alcotest.test_case "coarse ring bound" `Quick test_ring_bound
+        ] );
+      ( "labels",
+        [ Alcotest.test_case "escaping round-trip (openmetrics shared)" `Quick
+            test_label_escaping_roundtrip
+        ] )
+    ]

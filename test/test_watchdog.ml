@@ -1,0 +1,215 @@
+(* Tests for the SLO / anomaly rule engine (lib/obs/watchdog):
+   deterministic fire/clear debouncing driven through tick's explicit
+   clock and lookup, hold-on-absent-metric, anomaly warmup and the σ
+   floor, and the default serve rule set staying quiet on healthy
+   samples. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let slo ?(fire = 2) ?(clear = 2) ~name ~metric ~threshold cmp =
+  { Watchdog.r_name = name;
+    r_metric = metric;
+    r_kind = Watchdog.Slo { threshold; cmp };
+    r_fire_ticks = fire;
+    r_clear_ticks = clear;
+    r_help = "test rule"
+  }
+
+let lookup_const v _ = Some v
+
+let fired = function Watchdog.Fired _ -> true | Watchdog.Cleared _ -> false
+
+let test_fire_clear_debounce () =
+  let w =
+    Watchdog.create
+      [ slo ~name:"err" ~metric:"error_rate" ~threshold:0.5 Watchdog.Above ]
+  in
+  (* one breaching tick is not enough (fire_ticks = 2) *)
+  check int "no event on first breach" 0
+    (List.length (Watchdog.tick w ~now:1. ~lookup:(lookup_const 0.9)));
+  check int "still quiet" 0 (List.length (Watchdog.firing w));
+  (* second consecutive breach fires *)
+  let evs = Watchdog.tick w ~now:2. ~lookup:(lookup_const 0.9) in
+  check int "fires on second breach" 1 (List.length evs);
+  check bool "event is Fired" true (fired (List.hd evs));
+  (match List.hd evs with
+  | Watchdog.Fired a ->
+      check string "alert names rule" "err" a.Watchdog.a_rule;
+      check (Alcotest.float 1e-9) "alert carries value" 0.9 a.Watchdog.a_value;
+      check (Alcotest.float 1e-9) "since is fire time" 2. a.Watchdog.a_since
+  | Watchdog.Cleared _ -> Alcotest.fail "expected Fired");
+  check int "firing list" 1 (List.length (Watchdog.firing w));
+  (* a single healthy tick does not clear (clear_ticks = 2)... *)
+  check int "no event on first healthy" 0
+    (List.length (Watchdog.tick w ~now:3. ~lookup:(lookup_const 0.1)));
+  check int "still firing" 1 (List.length (Watchdog.firing w));
+  (* ...and a breach in between resets the healthy streak *)
+  ignore (Watchdog.tick w ~now:4. ~lookup:(lookup_const 0.9));
+  ignore (Watchdog.tick w ~now:5. ~lookup:(lookup_const 0.1));
+  check int "breach reset the clear streak" 1 (List.length (Watchdog.firing w));
+  let evs = Watchdog.tick w ~now:6. ~lookup:(lookup_const 0.1) in
+  check int "clears on second consecutive healthy" 1 (List.length evs);
+  check bool "event is Cleared" true (not (fired (List.hd evs)));
+  check int "nothing firing" 0 (List.length (Watchdog.firing w))
+
+let test_below_cmp () =
+  let w =
+    Watchdog.create
+      [ slo ~fire:1 ~clear:1 ~name:"hit" ~metric:"hit_ratio" ~threshold:0.3
+          Watchdog.Below
+      ]
+  in
+  check int "healthy above threshold" 0
+    (List.length (Watchdog.tick w ~now:1. ~lookup:(lookup_const 0.9)));
+  check int "fires below threshold" 1
+    (List.length (Watchdog.tick w ~now:2. ~lookup:(lookup_const 0.1)));
+  (* strictly beyond: exactly at threshold is healthy *)
+  check int "boundary clears" 1
+    (List.length (Watchdog.tick w ~now:3. ~lookup:(lookup_const 0.3)))
+
+let test_absent_metric_holds () =
+  let w =
+    Watchdog.create
+      [ slo ~fire:2 ~clear:1 ~name:"err" ~metric:"m" ~threshold:1. Watchdog.Above ]
+  in
+  ignore (Watchdog.tick w ~now:1. ~lookup:(lookup_const 2.));
+  (* absence between the two breaches neither fires, clears, nor
+     resets the breach streak *)
+  check int "absent tick is silent" 0
+    (List.length (Watchdog.tick w ~now:2. ~lookup:(fun _ -> None)));
+  check int "breach streak survives absence" 1
+    (List.length (Watchdog.tick w ~now:3. ~lookup:(lookup_const 2.)));
+  (* absence while firing holds the alert *)
+  check int "firing held through absence" 1
+    (List.length
+       (let _ = Watchdog.tick w ~now:4. ~lookup:(fun _ -> None) in
+        Watchdog.firing w))
+
+let anomaly ~window ~sigma ~min_samples =
+  { Watchdog.r_name = "anom";
+    r_metric = "m";
+    r_kind = Watchdog.Anomaly { window; sigma; min_samples };
+    r_fire_ticks = 1;
+    r_clear_ticks = 1;
+    r_help = "test anomaly"
+  }
+
+let test_anomaly_warmup_and_fire () =
+  let w = Watchdog.create [ anomaly ~window:50 ~sigma:4. ~min_samples:10 ] in
+  (* noisy-but-stable history around 100; jitter well inside 4σ *)
+  for i = 1 to 9 do
+    let v = 100. +. (2. *. Float.sin (float_of_int i)) in
+    (* a wild value during warmup must NOT fire: too little history *)
+    let v = if i = 5 then 1e6 else v in
+    check int
+      (Printf.sprintf "warmup tick %d silent" i)
+      0
+      (List.length (Watchdog.tick w ~now:(float_of_int i) ~lookup:(lookup_const v)))
+  done;
+  (* past warmup, in-band samples stay quiet *)
+  for i = 10 to 30 do
+    let v = 100. +. (2. *. Float.sin (float_of_int i)) in
+    check int
+      (Printf.sprintf "in-band tick %d silent" i)
+      0
+      (List.length (Watchdog.tick w ~now:(float_of_int i) ~lookup:(lookup_const v)))
+  done;
+  (* the warmup spike polluted the window's mean/σ; after 30 in-band
+     samples it has aged out of influence enough that a gross outlier
+     fires *)
+  let evs = Watchdog.tick w ~now:31. ~lookup:(lookup_const 1e9) in
+  check int "outlier fires past warmup" 1 (List.length evs);
+  check bool "anomaly event is Fired" true (fired (List.hd evs))
+
+let test_anomaly_sigma_floor () =
+  (* perfectly constant history: raw σ = 0, but the 1%-of-mean floor
+     means a value within 1% of the mean must not fire *)
+  let w = Watchdog.create [ anomaly ~window:50 ~sigma:3. ~min_samples:5 ] in
+  for i = 1 to 20 do
+    ignore (Watchdog.tick w ~now:(float_of_int i) ~lookup:(lookup_const 100.))
+  done;
+  check int "within floor band is quiet" 0
+    (List.length (Watchdog.tick w ~now:21. ~lookup:(lookup_const 100.5)));
+  check int "far outside floor band fires" 1
+    (List.length (Watchdog.tick w ~now:22. ~lookup:(lookup_const 200.)))
+
+let test_default_rules_quiet_when_healthy () =
+  let w = Watchdog.create (Watchdog.default_rules ()) in
+  (* samples resembling a healthy lightly-loaded daemon *)
+  let lookup = function
+    | "http.error_rate" -> Some 0.0
+    | "http.latency_ms.compile.p99" -> Some 40.
+    | "process.rss_bytes" -> Some 2e8
+    | "fm.cache.hit_ratio" -> Some 0.97
+    | "machine.dram_per_request" -> Some 1.2e6
+    | "runtime.steal_rate" -> Some 0.05
+    | _ -> None
+  in
+  for i = 1 to 200 do
+    check int
+      (Printf.sprintf "healthy tick %d" i)
+      0
+      (List.length (Watchdog.tick w ~now:(float_of_int i) ~lookup))
+  done;
+  check int "nothing firing after 200 healthy ticks" 0
+    (List.length (Watchdog.firing w));
+  (* sustained error-rate breach fires exactly the error-rate rule *)
+  let bad = function
+    | "http.error_rate" -> Some 0.9
+    | m -> lookup m
+  in
+  ignore (Watchdog.tick w ~now:201. ~lookup:bad);
+  let evs = Watchdog.tick w ~now:202. ~lookup:bad in
+  check int "error-rate SLO fires" 1 (List.length evs);
+  (match List.hd evs with
+  | Watchdog.Fired a -> check string "rule name" "slo-error-rate" a.Watchdog.a_rule
+  | Watchdog.Cleared _ -> Alcotest.fail "expected Fired");
+  (* thresholds are overridable (the serve --slo-* flags rely on it) *)
+  let tight = Watchdog.create (Watchdog.default_rules ~p99_ms:10. ()) in
+  ignore (Watchdog.tick tight ~now:1. ~lookup);
+  let evs = Watchdog.tick tight ~now:2. ~lookup in
+  check int "tightened p99 threshold fires on healthy latency" 1
+    (List.length evs)
+
+let test_multiple_rules_independent () =
+  let w =
+    Watchdog.create
+      [ slo ~fire:1 ~clear:1 ~name:"a" ~metric:"x" ~threshold:1. Watchdog.Above;
+        slo ~fire:1 ~clear:1 ~name:"b" ~metric:"y" ~threshold:1. Watchdog.Above
+      ]
+  in
+  let lookup = function "x" -> Some 5. | "y" -> Some 0. | _ -> None in
+  let evs = Watchdog.tick w ~now:1. ~lookup in
+  check int "only the breaching rule fires" 1 (List.length evs);
+  let firing = Watchdog.firing w in
+  check int "one firing" 1 (List.length firing);
+  check string "the right one" "a" (List.hd firing).Watchdog.a_rule;
+  (* both breach: the second joins without disturbing the first *)
+  let both = function _ -> Some 5. in
+  ignore (Watchdog.tick w ~now:2. ~lookup:both);
+  check int "both firing" 2 (List.length (Watchdog.firing w))
+
+let () =
+  Harness.run "watchdog"
+    [ ( "slo",
+        [ Alcotest.test_case "fire/clear debounce" `Quick
+            test_fire_clear_debounce;
+          Alcotest.test_case "Below comparator" `Quick test_below_cmp;
+          Alcotest.test_case "absent metric holds state" `Quick
+            test_absent_metric_holds;
+          Alcotest.test_case "independent rules" `Quick
+            test_multiple_rules_independent
+        ] );
+      ( "anomaly",
+        [ Alcotest.test_case "warmup then fire" `Quick
+            test_anomaly_warmup_and_fire;
+          Alcotest.test_case "sigma floor" `Quick test_anomaly_sigma_floor
+        ] );
+      ( "defaults",
+        [ Alcotest.test_case "quiet when healthy" `Quick
+            test_default_rules_quiet_when_healthy
+        ] )
+    ]
